@@ -1,0 +1,203 @@
+package ntcdc
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper (see DESIGN.md §4), plus the ablation benches for the
+// design decisions DESIGN.md §5 calls out.
+//
+// The data-center benches (Figs 4-7) run at a reduced scale (150 VMs,
+// 1-2 evaluated days) so `go test -bench=.` completes quickly;
+// cmd/ntc-repro runs the full paper scale.
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.TableI(); len(r.Rows) != 3 {
+			b.Fatal("bad Table I")
+		}
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDC is the reduced-scale configuration for the week benches.
+func benchDC(evalDays int, arima bool) experiments.DCConfig {
+	cfg := experiments.DefaultDCConfig()
+	cfg.VMs = 150
+	cfg.EvalDays = evalDays
+	cfg.UseARIMA = arima
+	return cfg
+}
+
+func BenchmarkFig4(b *testing.B) { benchWeek(b) }
+func BenchmarkFig5(b *testing.B) { benchWeek(b) }
+func BenchmarkFig6(b *testing.B) { benchWeek(b) }
+
+// benchWeek runs the shared Figs. 4-6 experiment (one simulation
+// produces all three series).
+func benchWeek(b *testing.B) {
+	b.Helper()
+	cfg := benchDC(1, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		week, err := experiments.Fig4to6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(week.Policies) != 3 {
+			b.Fatal("missing policies")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchDC(1, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// oneSlotDemands builds one slot (12 samples) of VM demands from a
+// freshly generated trace.
+func oneSlotDemands(b *testing.B, vms int) ([]alloc.VMDemand, alloc.ServerSpec) {
+	b.Helper()
+	cfg := DefaultTraceConfig(7)
+	cfg.VMs = vms
+	cfg.Days = 1
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := make([]alloc.VMDemand, vms)
+	for v := 0; v < vms; v++ {
+		demands[v] = alloc.VMDemand{
+			ID:  v,
+			CPU: tr.VMs[v].CPU[:trace.SamplesPerSlot],
+			Mem: tr.VMs[v].Mem[:trace.SamplesPerSlot],
+		}
+	}
+	m := NTCServerPower()
+	spec := alloc.ServerSpec{
+		Cores:         m.Cores,
+		MemContainers: m.DRAM.Capacity.GB(),
+		FMax:          m.FMax,
+		FMin:          m.FMin,
+	}
+	return demands, spec
+}
+
+// BenchmarkEPACTAllocate measures one slot allocation at paper scale
+// (600 VMs), the cost DESIGN.md decision #4 bounds.
+func BenchmarkEPACTAllocate(b *testing.B) {
+	demands, spec := oneSlotDemands(b, 600)
+	pol := &alloc.EPACT{Model: NTCServerPower()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Allocate(demands, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCOATAllocate is the consolidation baseline's counterpart.
+func BenchmarkCOATAllocate(b *testing.B) {
+	demands, spec := oneSlotDemands(b, 600)
+	pol := alloc.NewCOAT(spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Allocate(demands, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPerfModel compares the analytical and the
+// event-granular performance paths (DESIGN.md decision #1).
+func BenchmarkAblationPerfModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPerfModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkAblationForecast compares predictors on violation counts
+// (DESIGN.md decision #3).
+func BenchmarkAblationForecast(b *testing.B) {
+	cfg := benchDC(1, false)
+	cfg.VMs = 80
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationForecast(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkAblationTrace sweeps trace correlation strength (DESIGN.md
+// decision #2).
+func BenchmarkAblationTrace(b *testing.B) {
+	cfg := benchDC(1, false)
+	cfg.VMs = 80
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationTraceCorrelation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command epact-dc runs the week-long data-center simulation for a
+// single chosen policy and prints the per-slot series.
+//
+// Usage:
+//
+//	epact-dc [-policy epact|coat|coat-opt|ffd] [-vms 600] [-days 7]
+//	         [-seed 2018] [-arima=true] [-static 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "epact", "allocation policy: epact, coat, coat-opt or ffd")
+		vms     = flag.Int("vms", 600, "number of VMs")
+		days    = flag.Int("days", 7, "evaluated days (after 7 history days)")
+		seed    = flag.Int64("seed", 2018, "trace seed")
+		arima   = flag.Bool("arima", true, "ARIMA predictions (false = oracle)")
+		static  = flag.Float64("static", 15, "per-server static power in W")
+		verbose = flag.Bool("v", false, "print every slot")
+	)
+	flag.Parse()
+
+	if err := run(*policy, *vms, *days, *seed, *arima, *static, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "epact-dc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy string, vms, days int, seed int64, arima bool, static float64, verbose bool) error {
+	model := power.NTCServer()
+	model.Motherboard = units.Watts(static)
+	spec := alloc.ServerSpec{
+		Cores:         model.Cores,
+		MemContainers: model.DRAM.Capacity.GB(),
+		FMax:          model.FMax,
+		FMin:          model.FMin,
+	}
+
+	var pol alloc.Policy
+	switch policy {
+	case "epact":
+		pol = &alloc.EPACT{Model: model}
+	case "coat":
+		pol = alloc.NewCOAT(spec)
+	case "coat-opt":
+		pol = alloc.NewCOATOPT(spec, model.OptimalFrequency())
+	case "ffd":
+		pol = &alloc.FFD{}
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	tc := trace.DefaultConfig(seed)
+	tc.VMs = vms
+	tc.Days = 7 + days
+	tc.BaseMin, tc.BaseMax, tc.DiurnalAmplitude = 35, 85, 28
+	tr, err := trace.Generate(tc)
+	if err != nil {
+		return err
+	}
+
+	var pred forecast.Predictor
+	if arima {
+		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
+	}
+	fmt.Fprintf(os.Stderr, "forecasting %d VMs x %d days...\n", vms, days)
+	ps, err := dcsim.Predict(tr, pred, 7, days)
+	if err != nil {
+		return err
+	}
+
+	res, err := dcsim.Run(dcsim.Config{
+		Trace:       tr,
+		Predictions: ps,
+		HistoryDays: 7,
+		EvalDays:    days,
+		Policy:      pol,
+		Server:      model,
+		Platform:    platform.NTCServer(),
+		MaxServers:  600,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy=%s predictor=%s static=%.0fW\n", res.Policy, res.Predictor, static)
+	fmt.Printf("total energy: %v over %d slots\n", res.TotalEnergy, len(res.Slots))
+	fmt.Printf("violations: %d, mean active servers: %.1f (peak %d)\n",
+		res.TotalViol, res.MeanActive, res.PeakActive)
+
+	if verbose {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "slot\tactive\tviol\tenergy (MJ)\tplanned GHz")
+		for _, s := range res.Slots {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%.2f\t%.2f\n",
+				s.Slot, s.ActiveServers, s.Violations, s.Energy.MJ(), s.PlannedFreq.GHz())
+		}
+		tw.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package ntcdc_test
+
+import (
+	"fmt"
+
+	ntcdc "repro"
+)
+
+// The paper's headline server-level result: the NTC server's most
+// energy-proportional frequency is ≈1.9 GHz, not F_max.
+func ExampleServerPowerModel_optimalFrequency() {
+	srv := ntcdc.NTCServerPower()
+	fmt.Println(srv.OptimalFrequency())
+	// Output: 1.9GHz
+}
+
+// The conventional comparison server is most efficient flat out,
+// which is why consolidation used to be the right policy.
+func ExampleConventionalServerPower() {
+	srv := ntcdc.ConventionalServerPower()
+	fmt.Println(srv.OptimalFrequency() == srv.FMax)
+	// Output: true
+}
+
+// QoS floors per workload class on the NTC server (Fig. 2).
+func ExampleMinQoSFrequency() {
+	ntc := ntcdc.NTCPlatform()
+	for _, c := range []ntcdc.WorkloadClass{ntcdc.LowMem, ntcdc.MidMem, ntcdc.HighMem} {
+		f, err := ntcdc.MinQoSFrequency(ntc, c)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: %v\n", c, f)
+	}
+	// Output:
+	// low-mem: 1.2GHz
+	// mid-mem: 1.8GHz
+	// high-mem: 1.8GHz
+}
+
+// Table I's NTC column, computed from the calibrated platform model.
+func ExamplePlatform_execTime() {
+	ntc := ntcdc.NTCPlatform()
+	for _, c := range []ntcdc.WorkloadClass{ntcdc.LowMem, ntcdc.MidMem, ntcdc.HighMem} {
+		fmt.Printf("%s: %.3f s\n", c, ntc.ExecTime(c, ntcdc.GHz(2)))
+	}
+	// Output:
+	// low-mem: 0.582 s
+	// mid-mem: 2.926 s
+	// high-mem: 6.765 s
+}
+
+// Body bias is the FD-SOI-specific knob: reverse bias slashes leakage
+// for parked servers.
+func ExampleWithBodyBias() {
+	tech := ntcdc.FDSOI28()
+	rbb, err := ntcdc.WithBodyBias(tech, -1.0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	f := ntcdc.GHz(1.0)
+	fmt.Println(rbb.LeakageScale(f) < 0.5*tech.LeakageScale(f))
+	// Output: true
+}

@@ -1,0 +1,51 @@
+// Datacenter runs the paper's headline experiment end to end at a
+// reduced scale: a synthetic Google-style trace, ARIMA day-ahead
+// forecasts, and the EPACT / COAT / COAT-OPT comparison of Figs. 4-6.
+//
+// Pass -full for the paper-scale run (600 VMs, one week; takes a few
+// seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	ntcdc "repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale run (600 VMs, 7 days)")
+	flag.Parse()
+
+	cfg := ntcdc.DefaultWeekConfig()
+	if !*full {
+		cfg.VMs = 150
+		cfg.EvalDays = 2
+	}
+
+	fmt.Printf("simulating %d VMs over %d days (ARIMA predictions)...\n\n", cfg.VMs, cfg.EvalDays)
+	week, err := ntcdc.RunWeek(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := week.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A compact per-slot view of the first day: the Fig. 4-6 series.
+	fmt.Println("\nfirst-day slot series (violations / active / MJ):")
+	for _, p := range week.Policies {
+		n := 24
+		if n > len(week.EnergyMJ[p]) {
+			n = len(week.EnergyMJ[p])
+		}
+		fmt.Printf("%-9s", p)
+		for i := 0; i < n; i += 4 {
+			fmt.Printf("  [%2d] %3d/%2d/%.1f", i,
+				week.Violations[p][i], week.Active[p][i], week.EnergyMJ[p][i])
+		}
+		fmt.Println()
+	}
+}

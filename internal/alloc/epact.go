@@ -1,0 +1,317 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// EPACT is the paper's Energy Proportionality-Aware dynamiC
+// allocaTion method (Section V-B). Per slot it:
+//
+//  1. sizes the server pool from the CPU and the memory perspective
+//     independently (Eq. 1),
+//  2. if CPU dominates (N̂cpu > N̂mem), exhaustively searches the
+//     server count between the two bounds for the slot frequency
+//     F_opt^T with the lowest worst-case data-center power, then runs
+//     the 1-D correlation-aware first-fit-decreasing of Algorithm 1,
+//  3. otherwise (memory dominates) derives F_opt from the memory
+//     server count and runs the 2-D allocation of Algorithm 2, ranking
+//     servers by the Eq. 2 merit (Pearson-correlation shape affinity
+//     over Euclidean distance to the remaining capacity, weighted by
+//     the CPU and memory caps).
+//
+// The power model is injected so the method adapts to the server's
+// actual energy proportionality — the mechanism behind Fig. 7's
+// static-power study.
+type EPACT struct {
+	// Model is the server power model used by the Eq. 1 / case-1
+	// frequency search.
+	Model *power.ServerModel
+}
+
+// Name implements Policy.
+func (e *EPACT) Name() string { return "EPACT" }
+
+// fOptNTC returns the server's most energy-proportional frequency
+// (≈1.9 GHz for the NTC server).
+func (e *EPACT) fOptNTC() units.Frequency { return e.Model.OptimalFrequency() }
+
+// serverCounts evaluates Eq. 1: the number of turned-on servers from
+// the CPU perspective (at F_opt^NTC) and from the memory perspective
+// (consolidating until the memory cap).
+func (e *EPACT) serverCounts(vms []VMDemand, spec ServerSpec) (nCPU, nMem int, peakCPU float64) {
+	n := len(vms[0].CPU)
+	peakMem := 0.0
+	for s := 0; s < n; s++ {
+		var cpu, mem float64
+		for i := range vms {
+			cpu += vms[i].CPU[s]
+			mem += vms[i].Mem[s]
+		}
+		peakCPU = math.Max(peakCPU, cpu)
+		peakMem = math.Max(peakMem, mem)
+	}
+	fOpt := e.fOptNTC()
+	// Eq. 1 with the core-count in the denominator (units: core-points
+	// at F_max scaled to F_opt capacity per server).
+	nCPU = int(math.Ceil(peakCPU * spec.FMax.GHz() / (fOpt.GHz() * spec.CPUPoints())))
+	nMem = int(math.Ceil(peakMem / spec.MemPoints()))
+	if nCPU < 1 {
+		nCPU = 1
+	}
+	if nMem < 1 {
+		nMem = 1
+	}
+	return nCPU, nMem, peakCPU
+}
+
+// slotFrequency finds, for a candidate count of turned-on servers,
+// the lowest frequency level that carries the predicted peak.
+func (e *EPACT) slotFrequency(peakCPU float64, servers int, spec ServerSpec) units.Frequency {
+	needGHz := peakCPU * spec.FMax.GHz() / (float64(servers) * spec.CPUPoints())
+	return e.Model.ClampFrequency(units.GHz(needGHz))
+}
+
+// Allocate implements Policy.
+func (e *EPACT) Allocate(vms []VMDemand, spec ServerSpec) (*Assignment, error) {
+	if err := checkInput(vms, spec); err != nil {
+		return nil, err
+	}
+	nCPU, nMem, peakCPU := e.serverCounts(vms, spec)
+
+	if nCPU > nMem {
+		return e.allocateCase1(vms, spec, nCPU, nMem, peakCPU)
+	}
+	return e.allocateCase2(vms, spec, nMem, peakCPU)
+}
+
+// allocateCase1 handles the CPU-dominated case: exhaustive search of
+// the turned-on server count in [nMem, nCPU] for the minimum
+// worst-case power, then Algorithm 1.
+func (e *EPACT) allocateCase1(vms []VMDemand, spec ServerSpec, nCPU, nMem int, peakCPU float64) (*Assignment, error) {
+	bestN, bestF, bestP := 0, units.Frequency(0), math.Inf(1)
+	for n := nMem; n <= nCPU; n++ {
+		// Skip counts that cannot carry the predicted peak even at
+		// F_max.
+		needGHz := peakCPU * spec.FMax.GHz() / (float64(n) * spec.CPUPoints())
+		if needGHz > spec.FMax.GHz()+1e-9 {
+			continue
+		}
+		f := e.slotFrequency(peakCPU, n, spec)
+		// Worst-case data-center power: n servers, CPU bound at f.
+		p := float64(n) * e.Model.CPUBoundPower(f).W()
+		if p < bestP {
+			bestN, bestF, bestP = n, f, p
+		}
+	}
+	if bestN == 0 {
+		return nil, fmt.Errorf("alloc: EPACT case-1 search found no feasible server count (nCPU=%d, nMem=%d)", nCPU, nMem)
+	}
+	capCPU := spec.CPUPoints() * bestF.GHz() / spec.FMax.GHz()
+	capMem := spec.MemPoints()
+
+	a, err := allocate1D(vms, capCPU, capMem)
+	if err != nil {
+		return nil, err
+	}
+	a.Policy = e.Name()
+	a.CPUCapPoints = capCPU
+	a.MemCapPoints = capMem
+	a.PlannedFreq = bestF
+	a.EPACTCase = 1
+	return a, nil
+}
+
+// allocate1D is Algorithm 1: correlation-aware first-fit-decreasing on
+// the CPU dimension. Servers open one at a time; an empty server takes
+// the largest unallocated VM; a non-empty server repeatedly takes the
+// unallocated VM whose CPU pattern best matches the server's
+// complementary pattern (max Pearson φ) among those that keep the
+// aggregated peak under the cap. When none fits, the next server
+// opens.
+func allocate1D(vms []VMDemand, capCPU, capMem float64) (*Assignment, error) {
+	// First-Fit-Decreasing order by predicted CPU peak.
+	order := make([]int, len(vms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return vms[order[a]].PeakCPU() > vms[order[b]].PeakCPU()
+	})
+
+	assigned := make([]bool, len(vms))
+	vmServer := make([]int, len(vms))
+	for i := range vmServer {
+		vmServer[i] = -1
+	}
+	var servers []*ServerPlan
+	remaining := len(vms)
+
+	cur := &ServerPlan{}
+	servers = append(servers, cur)
+	for remaining > 0 {
+		if len(cur.VMs) == 0 {
+			// Lines 4-6: first (largest) unallocated VM seeds the server.
+			for _, idx := range order {
+				if assigned[idx] {
+					continue
+				}
+				cur.add(idx, &vms[idx])
+				vmServer[idx] = len(servers) - 1
+				assigned[idx] = true
+				remaining--
+				break
+			}
+			continue
+		}
+		// Lines 8-12: complementary pattern and best-correlated fit.
+		pattCom := mathx.Complement(cur.CPU)
+		bestIdx, bestPhi := -1, math.Inf(-1)
+		for _, idx := range order {
+			if assigned[idx] {
+				continue
+			}
+			if !cur.fits(&vms[idx], capCPU, capMem) {
+				continue
+			}
+			phi, err := mathx.Pearson(pattCom, vms[idx].CPU)
+			if err != nil {
+				return nil, err
+			}
+			if phi > bestPhi {
+				bestIdx, bestPhi = idx, phi
+			}
+		}
+		if bestIdx < 0 {
+			// Lines 13-14: nothing fits; turn on another server.
+			cur = &ServerPlan{}
+			servers = append(servers, cur)
+			continue
+		}
+		cur.add(bestIdx, &vms[bestIdx])
+		vmServer[bestIdx] = len(servers) - 1
+		assigned[bestIdx] = true
+		remaining--
+	}
+	return &Assignment{Servers: servers, VMServer: vmServer}, nil
+}
+
+// allocateCase2 handles the memory-dominated case via Algorithm 2.
+func (e *EPACT) allocateCase2(vms []VMDemand, spec ServerSpec, nMem int, peakCPU float64) (*Assignment, error) {
+	// F_opt from the memory server count (Section V-B case 2).
+	fOpt := e.slotFrequency(peakCPU, nMem, spec)
+	capCPU := spec.CPUPoints() * fOpt.GHz() / spec.FMax.GHz()
+	capMem := spec.MemPoints()
+
+	servers := make([]*ServerPlan, nMem)
+	for i := range servers {
+		servers[i] = &ServerPlan{}
+	}
+	vmServer := make([]int, len(vms))
+	for i := range vmServer {
+		vmServer[i] = -1
+	}
+
+	// Iterate VMs largest-first for packing stability (the paper's
+	// loop is order-agnostic).
+	order := make([]int, len(vms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return vms[order[a]].PeakCPU()+vms[order[a]].PeakMem() >
+			vms[order[b]].PeakCPU()+vms[order[b]].PeakMem()
+	})
+
+	wCPU := capCPU / (capCPU + capMem)
+	wMem := capMem / (capCPU + capMem)
+
+	for _, idx := range order {
+		vm := &vms[idx]
+		bestServer, bestMerit := -1, math.Inf(-1)
+		for j, srv := range servers {
+			if !srv.fits(vm, capCPU, capMem) {
+				continue
+			}
+			merit, err := eq2Merit(srv, vm, capCPU, capMem, wCPU, wMem)
+			if err != nil {
+				return nil, err
+			}
+			if merit > bestMerit {
+				bestServer, bestMerit = j, merit
+			}
+		}
+		if bestServer < 0 {
+			// The fixed pool cannot host the VM (prediction overshoot):
+			// turn on one more server, as a real system must.
+			servers = append(servers, &ServerPlan{})
+			bestServer = len(servers) - 1
+		}
+		servers[bestServer].add(idx, vm)
+		vmServer[idx] = bestServer
+	}
+
+	return &Assignment{
+		Policy:       e.Name(),
+		Servers:      servers,
+		VMServer:     vmServer,
+		CPUCapPoints: capCPU,
+		MemCapPoints: capMem,
+		PlannedFreq:  fOpt,
+		EPACTCase:    2,
+	}, nil
+}
+
+// eq2Merit evaluates the Eq. 2 merit of placing vm on srv: shape
+// affinity (Pearson of the VM pattern with the server's complementary
+// pattern) divided by the Euclidean distance between the VM pattern
+// and the server's remaining capacity, summed over the CPU and memory
+// dimensions with cap-derived weights. A vanishing distance means a
+// perfect fill and is floored to keep the merit finite.
+func eq2Merit(srv *ServerPlan, vm *VMDemand, capCPU, capMem, wCPU, wMem float64) (float64, error) {
+	const minDist = 1e-6
+	n := len(vm.CPU)
+
+	srvCPU := srv.CPU
+	srvMem := srv.Mem
+	if srvCPU == nil {
+		srvCPU = make([]float64, n)
+		srvMem = make([]float64, n)
+	}
+
+	phiCPU, err := mathx.Pearson(mathx.Complement(srvCPU), vm.CPU)
+	if err != nil {
+		return 0, err
+	}
+	phiMem, err := mathx.Pearson(mathx.Complement(srvMem), vm.Mem)
+	if err != nil {
+		return 0, err
+	}
+
+	remCPU := make([]float64, n)
+	remMem := make([]float64, n)
+	for i := 0; i < n; i++ {
+		remCPU[i] = capCPU - srvCPU[i]
+		remMem[i] = capMem - srvMem[i]
+	}
+	distCPU, err := mathx.L2Distance(vm.CPU, remCPU)
+	if err != nil {
+		return 0, err
+	}
+	distMem, err := mathx.L2Distance(vm.Mem, remMem)
+	if err != nil {
+		return 0, err
+	}
+	if distCPU < minDist {
+		distCPU = minDist
+	}
+	if distMem < minDist {
+		distMem = minDist
+	}
+	return wCPU*phiCPU/distCPU + wMem*phiMem/distMem, nil
+}

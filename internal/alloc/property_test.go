@@ -1,0 +1,198 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// randomVMs builds a reproducible random VM population from a seed.
+func randomVMs(seed int64, maxVMs int) []VMDemand {
+	state := uint64(seed)*2862933555777941757 + 3037000493 | 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%10000) / 10000
+	}
+	n := 2 + int(next()*float64(maxVMs-2))
+	samples := 12
+	vms := make([]VMDemand, n)
+	for i := range vms {
+		cpu := make([]float64, samples)
+		mem := make([]float64, samples)
+		base := next() * 90
+		memBase := 2 + next()*45
+		for s := range cpu {
+			cpu[s] = math.Min(100, math.Max(0, base+20*(next()-0.5)))
+			mem[s] = math.Min(100, math.Max(0, memBase+4*(next()-0.5)))
+		}
+		vms[i] = VMDemand{ID: i, CPU: cpu, Mem: mem}
+	}
+	return vms
+}
+
+// demandMass sums all CPU demand across VMs and samples.
+func demandMass(vms []VMDemand) float64 {
+	total := 0.0
+	for i := range vms {
+		for _, c := range vms[i].CPU {
+			total += c
+		}
+	}
+	return total
+}
+
+// planMass sums all CPU load across server plans and samples.
+func planMass(a *Assignment) float64 {
+	total := 0.0
+	for _, s := range a.Servers {
+		for _, c := range s.CPU {
+			total += c
+		}
+	}
+	return total
+}
+
+// TestMassConservationProperty: no policy may create or lose demand —
+// the aggregated server plans carry exactly the input mass.
+func TestMassConservationProperty(t *testing.T) {
+	spec := ntcSpec()
+	policies := []Policy{
+		newEPACT(),
+		NewCOAT(spec),
+		NewCOATOPT(spec, units.GHz(1.9)),
+		&FFD{},
+		NewVerma(),
+		&LoadBalance{Servers: 8},
+	}
+	for _, pol := range policies {
+		pol := pol
+		prop := func(seed int64) bool {
+			vms := randomVMs(seed, 40)
+			a, err := pol.Allocate(vms, spec)
+			if err != nil {
+				return false
+			}
+			return math.Abs(planMass(a)-demandMass(vms)) < 1e-6
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", pol.Name(), err)
+		}
+	}
+}
+
+// TestExactlyOnceProperty: every VM lands on exactly one server.
+func TestExactlyOnceProperty(t *testing.T) {
+	spec := ntcSpec()
+	policies := []Policy{
+		newEPACT(), NewCOAT(spec), &FFD{}, NewVerma(),
+	}
+	for _, pol := range policies {
+		pol := pol
+		prop := func(seed int64) bool {
+			vms := randomVMs(seed, 40)
+			a, err := pol.Allocate(vms, spec)
+			if err != nil {
+				return false
+			}
+			return a.Validate(len(vms)) == nil
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", pol.Name(), err)
+		}
+	}
+}
+
+// TestCapRespectedProperty: capped policies never plan a server above
+// the CPU cap (when each VM individually fits the cap).
+func TestCapRespectedProperty(t *testing.T) {
+	spec := ntcSpec()
+	policies := []Policy{NewCOAT(spec), NewCOATOPT(spec, units.GHz(1.9)), &FFD{}, NewVerma()}
+	for _, pol := range policies {
+		pol := pol
+		prop := func(seed int64) bool {
+			vms := randomVMs(seed, 40)
+			a, err := pol.Allocate(vms, spec)
+			if err != nil {
+				return false
+			}
+			for _, s := range a.Servers {
+				if s.PeakCPU() > a.CPUCapPoints+1e-6 {
+					return false
+				}
+				if len(s.Mem) > 0 && mathxMax(s.Mem) > a.MemCapPoints+1e-6 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", pol.Name(), err)
+		}
+	}
+}
+
+func mathxMax(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TestEPACTNeverPlansAboveFMaxProperty: the planned slot frequency is
+// always a valid DVFS level.
+func TestEPACTNeverPlansAboveFMaxProperty(t *testing.T) {
+	spec := ntcSpec()
+	model := power.NTCServer()
+	pol := &EPACT{Model: model}
+	prop := func(seed int64) bool {
+		vms := randomVMs(seed, 60)
+		a, err := pol.Allocate(vms, spec)
+		if err != nil {
+			return false
+		}
+		return a.PlannedFreq >= model.FMin && a.PlannedFreq <= model.FMax
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMigrationStatsConservationProperty: stays + migrations always
+// equals the population.
+func TestMigrationStatsConservationProperty(t *testing.T) {
+	spec := ntcSpec()
+	pol := NewCOAT(spec)
+	prop := func(seed int64) bool {
+		vms1 := randomVMs(seed, 30)
+		vms2 := randomVMs(seed+1, 30)
+		if len(vms1) != len(vms2) {
+			// CompareAssignments requires equal populations; trim.
+			n := len(vms1)
+			if len(vms2) < n {
+				n = len(vms2)
+			}
+			vms1, vms2 = vms1[:n], vms2[:n]
+		}
+		a1, err := pol.Allocate(vms1, spec)
+		if err != nil {
+			return false
+		}
+		a2, err := pol.Allocate(vms2, spec)
+		if err != nil {
+			return false
+		}
+		stats := CompareAssignments(a1, a2, nil)
+		return stats.Migrations+stats.Stayed == len(vms1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

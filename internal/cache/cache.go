@@ -1,0 +1,194 @@
+// Package cache provides the cache-hierarchy substrate of the
+// performance model: an LRU set-associative cache simulator for
+// trace-driven studies, and the analytical working-set miss model the
+// higher-level performance package uses to reason about LLC sharing.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Size     units.ByteSize
+	LineSize units.ByteSize
+	Ways     int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	lines := int(c.Size.Bytes() / c.LineSize.Bytes())
+	if c.Ways <= 0 {
+		return 0
+	}
+	return lines / c.Ways
+}
+
+// Validate checks the configuration for internal consistency: sizes
+// must be positive, the line count must divide evenly into ways, and
+// the set count must be a power of two (for the index function).
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return errors.New("cache: size, line size and ways must be positive")
+	}
+	lines := c.Size.Bytes() / c.LineSize.Bytes()
+	if lines != float64(int(lines)) {
+		return errors.New("cache: size must be a multiple of the line size")
+	}
+	if int(lines)%c.Ways != 0 {
+		return errors.New("cache: line count must be a multiple of ways")
+	}
+	sets := c.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates access statistics.
+type Stats struct {
+	Accesses, Hits, Misses uint64
+	Writebacks             uint64
+}
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is an LRU set-associative cache simulator with a write-back,
+// write-allocate policy.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set][way] and dirty[set][way]; lru[set][way] holds a
+	// recency counter (higher = more recent).
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+	}
+	for bits := uint(0); ; bits++ {
+		if 1<<bits == int(cfg.LineSize.Bytes()) {
+			c.lineBits = bits
+			break
+		}
+		if 1<<bits > int(cfg.LineSize.Bytes()) {
+			return nil, errors.New("cache: line size must be a power of two")
+		}
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.dirty[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Access simulates one access to byte address addr. write marks a
+// store. It returns true on a hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	tag := line >> 0 // full line id as tag; the set index repeats but stays unique per line
+
+	ways := c.cfg.Ways
+	victim := 0
+	var victimLRU uint64 = ^uint64(0)
+	for w := 0; w < ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stats.Hits++
+			c.lru[set][w] = c.clock
+			if write {
+				c.dirty[set][w] = true
+			}
+			return true
+		}
+		if !c.valid[set][w] {
+			victim = w
+			victimLRU = 0
+		} else if c.lru[set][w] < victimLRU {
+			victim = w
+			victimLRU = c.lru[set][w]
+		}
+	}
+	c.stats.Misses++
+	if c.valid[set][victim] && c.dirty[set][victim] {
+		c.stats.Writebacks++
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters but keeps the cache contents — used
+// to separate warm-up from measurement phases.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := 0; i < c.sets; i++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			c.valid[i][w] = false
+			c.dirty[i][w] = false
+			c.lru[i][w] = 0
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// WorkingSetMissModel is the analytical counterpart used at the
+// performance-model level: the miss ratio of a job with a hot working
+// set ws running with an LLC share of `share` bytes. When the hot set
+// fits, misses are the compulsory/streaming floor; as the share
+// shrinks below the working set, capacity misses grow linearly up to
+// the full streaming rate — the classic linear segment of a working-set
+// miss curve.
+//
+// The returned multiplier scales a workload's base MPKI: 1 when the
+// set fits, rising to maxFactor as share -> 0.
+func WorkingSetMissModel(ws, share units.ByteSize, maxFactor float64) float64 {
+	if ws <= 0 || share >= ws {
+		return 1
+	}
+	if share <= 0 {
+		return maxFactor
+	}
+	deficit := 1 - share.Bytes()/ws.Bytes() // in (0, 1]
+	return 1 + (maxFactor-1)*deficit
+}

@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func smallCfg() Config {
+	return Config{Size: 4096, LineSize: 64, Ways: 4} // 16 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Size: 0, LineSize: 64, Ways: 4},
+		{Size: 4096, LineSize: 0, Ways: 4},
+		{Size: 4096, LineSize: 64, Ways: 0},
+		{Size: 4000, LineSize: 64, Ways: 4},     // not line-multiple
+		{Size: 4096, LineSize: 64, Ways: 5},     // lines not multiple of ways
+		{Size: 4096 * 3, LineSize: 64, Ways: 4}, // 48 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	if got := smallCfg().Sets(); got != 16 {
+		t.Errorf("Sets = %d, want 16", got)
+	}
+	// The NTC LLC: 16 MB, 64 B lines, 16 ways -> 16384 sets.
+	llc := Config{Size: units.MiB(16), LineSize: 64, Ways: 16}
+	if got := llc.Sets(); got != 16384 {
+		t.Errorf("LLC sets = %d, want 16384", got)
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	c, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First touch of each line misses; second touch hits.
+	for addr := uint64(0); addr < 4096; addr += 64 {
+		if c.Access(addr, false) {
+			t.Errorf("cold access to %#x hit", addr)
+		}
+	}
+	for addr := uint64(0); addr < 4096; addr += 64 {
+		if !c.Access(addr, false) {
+			t.Errorf("warm access to %#x missed", addr)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 64 || s.Hits != 64 {
+		t.Errorf("stats = %+v, want 64 misses / 64 hits", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ways: fill one set with 4 lines, touch the first again (now
+	// MRU), then insert a 5th line mapping to the same set — it must
+	// evict the least recently used (the 2nd line).
+	setStride := uint64(16 * 64) // lines mapping to set 0
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, false)
+	}
+	c.Access(0, false) // line 0 becomes MRU
+	c.Access(4*setStride, false)
+	if !c.Access(0, false) {
+		t.Error("line 0 was evicted despite being MRU")
+	}
+	if c.Access(1*setStride, false) {
+		t.Error("line 1 (LRU) should have been evicted")
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	c, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStride := uint64(16 * 64)
+	// Write to 4 lines of one set (all dirty), then stream 4 more
+	// through the same set: 4 dirty evictions.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, true)
+	}
+	for i := uint64(4); i < 8; i++ {
+		c.Access(i*setStride, false)
+	}
+	if wb := c.Stats().Writebacks; wb != 4 {
+		t.Errorf("writebacks = %d, want 4", wb)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, true)
+	c.Reset()
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if c.Access(0, false) {
+		t.Error("access after reset hit")
+	}
+}
+
+func TestStatsConsistencyProperty(t *testing.T) {
+	// Hits + Misses == Accesses for any access stream.
+	prop := func(seed int64) bool {
+		c, err := New(smallCfg())
+		if err != nil {
+			return false
+		}
+		state := uint64(seed)*6364136223846793005 + 1442695040888963407
+		for i := 0; i < 2000; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			c.Access(state%65536, state%3 == 0)
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses && s.Accesses == 2000
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsNoPressure(t *testing.T) {
+	// Working set smaller than the share: multiplier 1.
+	if m := WorkingSetMissModel(units.MiB(8), units.MiB(16), 10); m != 1 {
+		t.Errorf("multiplier = %v, want 1", m)
+	}
+	// Zero share: full factor.
+	if m := WorkingSetMissModel(units.MiB(8), 0, 10); m != 10 {
+		t.Errorf("multiplier = %v, want 10", m)
+	}
+	// Half the set fits: halfway.
+	if m := WorkingSetMissModel(units.MiB(8), units.MiB(4), 11); m != 6 {
+		t.Errorf("multiplier = %v, want 6", m)
+	}
+}
+
+func TestWorkingSetModelMonotoneProperty(t *testing.T) {
+	// Shrinking the share never reduces the miss multiplier.
+	prop := func(seed int64) bool {
+		ws := units.MiB(float64(1 + uint(seed)%64))
+		prev := -1.0
+		for share := 64.0; share >= 0; share -= 4 {
+			m := WorkingSetMissModel(ws, units.MiB(share), 8)
+			if prev >= 0 && m < prev-1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheSimMatchesWorkingSetIntuition(t *testing.T) {
+	// A loop over a working set that fits has ~0 steady-state miss
+	// rate; one that exceeds the cache thrashes (LRU + sequential
+	// sweep = ~100% misses).
+	c, err := New(smallCfg()) // 4 KB cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 KB loop, 10 passes.
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < 2048; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if mr := c.Stats().MissRate(); mr > 0.15 {
+		t.Errorf("fitting loop miss rate = %.2f, want ~0.03", mr)
+	}
+	c.Reset()
+	// 8 KB loop (2x the cache), 10 passes: sequential LRU thrash.
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < 8192; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if mr := c.Stats().MissRate(); mr < 0.9 {
+		t.Errorf("thrashing loop miss rate = %.2f, want ~1.0", mr)
+	}
+}
+
+func TestLineSizeMustBePowerOfTwo(t *testing.T) {
+	// 48 B lines: rejected by New even though Validate's divisibility
+	// checks might pass.
+	_, err := New(Config{Size: 4096 * 3 / 4, LineSize: 48, Ways: 4})
+	if err == nil {
+		t.Error("48-byte line accepted")
+	}
+}

@@ -1,0 +1,343 @@
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config parameterises one data-center run.
+type Config struct {
+	// Trace supplies the actual VM behaviour (history + evaluation).
+	Trace *trace.Trace
+
+	// Predictions feed the allocator; build them with Predict. The
+	// evaluated period is the last len(Predictions.CPU[0]) samples
+	// implied by HistoryDays/EvalDays.
+	Predictions *PredictionSet
+
+	// HistoryDays and EvalDays split the trace; they must match the
+	// prediction set.
+	HistoryDays, EvalDays int
+
+	// Policy allocates VMs each slot.
+	Policy alloc.Policy
+
+	// Server is the power model of every machine in the pool.
+	Server *power.ServerModel
+
+	// Platform supplies the performance observables (WFM fractions,
+	// memory traffic) per workload class.
+	Platform *platform.Platform
+
+	// MaxServers bounds the pool (600 in the paper). Allocations
+	// beyond it are counted as capacity violations on the overflow
+	// servers.
+	MaxServers int
+
+	// Transitions prices server power-state changes and VM
+	// migrations between slots. The zero value reproduces the paper
+	// (no transition costs); DefaultTransitions enables the extension
+	// accounting.
+	Transitions TransitionModel
+}
+
+// SlotResult aggregates one time slot (1 hour, 12 samples).
+type SlotResult struct {
+	Slot          int
+	ActiveServers int
+
+	// Violations counts overutilised server-samples: a server whose
+	// actual aggregated CPU demand exceeds its full capacity at F_max
+	// (beyond what raising the frequency can deliver) or whose memory
+	// demand exceeds physical memory, at one 5-minute sample.
+	Violations int
+
+	// Energy is the data-center energy consumed during the slot.
+	Energy units.Energy
+
+	// TransitionEnergy is the extra cost of power-state changes and
+	// migrations entering this slot (zero under the paper-faithful
+	// transition model). It is included in Energy.
+	TransitionEnergy units.Energy
+
+	// Migrations is the number of VMs that changed servers entering
+	// this slot.
+	Migrations int
+
+	// PlannedFreq is the allocator's cap frequency for the slot.
+	PlannedFreq units.Frequency
+}
+
+// Result is a full run.
+type Result struct {
+	Policy      string
+	Predictor   string
+	Slots       []SlotResult
+	TotalEnergy units.Energy
+	TotalViol   int
+	MeanActive  float64
+	PeakActive  int
+
+	// TotalMigrations and TotalTransitionEnergy aggregate the
+	// extension accounting (zero under the paper-faithful model).
+	TotalMigrations       int
+	TotalTransitionEnergy units.Energy
+}
+
+// EnergyPerSlotMJ returns the per-slot energy series in megajoules
+// (the Fig. 6 series).
+func (r *Result) EnergyPerSlotMJ() []float64 {
+	out := make([]float64, len(r.Slots))
+	for i, s := range r.Slots {
+		out[i] = s.Energy.MJ()
+	}
+	return out
+}
+
+// ViolationsPerSlot returns the Fig. 4 series.
+func (r *Result) ViolationsPerSlot() []int {
+	out := make([]int, len(r.Slots))
+	for i, s := range r.Slots {
+		out[i] = s.Violations
+	}
+	return out
+}
+
+// ActiveServersPerSlot returns the Fig. 5 series.
+func (r *Result) ActiveServersPerSlot() []int {
+	out := make([]int, len(r.Slots))
+	for i, s := range r.Slots {
+		out[i] = s.ActiveServers
+	}
+	return out
+}
+
+// Run simulates the evaluation period slot by slot.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	spec := alloc.ServerSpec{
+		Cores:         cfg.Server.Cores,
+		MemContainers: cfg.Server.DRAM.Capacity.GB(),
+		FMax:          cfg.Server.FMax,
+		FMin:          cfg.Server.FMin,
+	}
+	evalStart := cfg.HistoryDays * trace.SamplesPerDay
+	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
+	nVMs := len(cfg.Trace.VMs)
+
+	res := &Result{Policy: cfg.Policy.Name(), Predictor: cfg.Predictions.Predictor}
+	sampleSec := cfg.Trace.Interval.Seconds()
+
+	var prevAsg *alloc.Assignment
+	for s := 0; s < slots; s++ {
+		lo := s * trace.SamplesPerSlot // offset within the eval period
+		hi := lo + trace.SamplesPerSlot
+
+		// 1) Build the predicted demands for this slot.
+		vms := make([]alloc.VMDemand, nVMs)
+		for v := 0; v < nVMs; v++ {
+			vms[v] = alloc.VMDemand{
+				ID:  v,
+				CPU: cfg.Predictions.CPU[v][lo:hi],
+				Mem: cfg.Predictions.Mem[v][lo:hi],
+			}
+		}
+
+		// 2) Allocate.
+		asg, err := cfg.Policy.Allocate(vms, spec)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: slot %d: %w", s, err)
+		}
+
+		// 3) Replay the actual traces against the assignment.
+		slot, err := replaySlot(&cfg, spec, asg, evalStart+lo, sampleSec)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: slot %d: %w", s, err)
+		}
+		slot.Slot = s
+		slot.PlannedFreq = asg.PlannedFreq
+
+		// 4) Transition accounting (zero under the paper model).
+		if cfg.Transitions != (TransitionModel{}) {
+			memBytes := residentSets(cfg.Trace, evalStart+lo)
+			te, stats := cfg.Transitions.slotTransitionEnergy(prevAsg, asg, memBytes)
+			slot.TransitionEnergy = te
+			slot.Migrations = stats.Migrations
+			slot.Energy += te
+		}
+		prevAsg = asg
+		res.Slots = append(res.Slots, slot)
+	}
+
+	// Aggregate.
+	var activeSum int
+	for _, s := range res.Slots {
+		res.TotalEnergy += s.Energy
+		res.TotalViol += s.Violations
+		res.TotalMigrations += s.Migrations
+		res.TotalTransitionEnergy += s.TransitionEnergy
+		activeSum += s.ActiveServers
+		if s.ActiveServers > res.PeakActive {
+			res.PeakActive = s.ActiveServers
+		}
+	}
+	if len(res.Slots) > 0 {
+		res.MeanActive = float64(activeSum) / float64(len(res.Slots))
+	}
+	return res, nil
+}
+
+// residentSets returns each VM's resident memory in bytes at sample
+// abs (its utilisation of the 1 GB container).
+func residentSets(tr *trace.Trace, abs int) []float64 {
+	out := make([]float64, len(tr.VMs))
+	for v, vm := range tr.VMs {
+		if abs < len(vm.Mem) {
+			out[v] = vm.Mem[abs] / 100 * float64(1<<30)
+		}
+	}
+	return out
+}
+
+// replaySlot plays the actual traces of one slot against an
+// assignment: per server and sample it runs the shared online DVFS
+// governor, integrates power, and counts overutilisation.
+func replaySlot(cfg *Config, spec alloc.ServerSpec, asg *alloc.Assignment, absLo int, sampleSec float64) (SlotResult, error) {
+	var out SlotResult
+	// Deliverable CPU capacity: demand beyond it is a violation. A
+	// dynamic-DVFS policy can boost to F_max, so the whole capacity is
+	// deliverable; a fixed-cap policy (COAT-OPT) is pinned at its
+	// planned frequency and can deliver only the corresponding share —
+	// the paper's "less control on violations ... using a fixed cap".
+	capCPU := spec.CPUPoints()
+	if asg.FixedFreq {
+		capCPU = spec.CPUPoints() * asg.PlannedFreq.GHz() / spec.FMax.GHz()
+	}
+	capMem := spec.MemPoints()
+
+	active := 0
+	for _, srv := range asg.Servers {
+		if len(srv.VMs) == 0 {
+			continue
+		}
+		active++
+		for i := 0; i < trace.SamplesPerSlot; i++ {
+			abs := absLo + i
+			// Aggregate actual demand per class.
+			var cpuByClass [3]float64
+			var cpuTotal, memTotal float64
+			for _, v := range srv.VMs {
+				vm := cfg.Trace.VMs[v]
+				cpuByClass[vm.Class] += vm.CPU[abs]
+				cpuTotal += vm.CPU[abs]
+				memTotal += vm.Mem[abs]
+			}
+
+			// Overutilisation accounting (Fig. 4): demand beyond the
+			// server's deliverable capacity even at F_max, or beyond
+			// physical memory.
+			if cpuTotal > capCPU+1e-9 || memTotal > capMem+1e-9 {
+				out.Violations++
+			}
+
+			// Online DVFS governor: the lowest level that delivers the
+			// demand (clipped at F_max when overloaded). Fixed-cap
+			// policies run pinned at their planned frequency instead.
+			var f units.Frequency
+			if asg.FixedFreq {
+				f = asg.PlannedFreq
+			} else {
+				needGHz := cpuTotal / spec.CPUPoints() * spec.FMax.GHz()
+				f = cfg.Server.ClampFrequency(units.GHz(needGHz))
+			}
+
+			// Busy core-equivalents at the chosen frequency.
+			scale := spec.FMax.GHz() / f.GHz()
+			busy := cpuTotal / 100 * scale
+			if busy > float64(spec.Cores) {
+				busy = float64(spec.Cores)
+			}
+
+			// Per-class observables scale with the class's busy cores.
+			var wfm, llcR, llcW, memR, memW float64
+			for c := 0; c < 3; c++ {
+				if cpuByClass[c] == 0 {
+					continue
+				}
+				classBusy := cpuByClass[c] / 100 * scale
+				obs := perf.Observe(cfg.Platform, workload.Class(c), f, 1)
+				wfm += classBusy * obs.WFMFraction
+				llcR += classBusy * obs.LLCReadsPerSec
+				llcW += classBusy * obs.LLCWritesPerSec
+				memR += classBusy * obs.MemReadBytesPerSec
+				memW += classBusy * obs.MemWriteBytesPerSec
+			}
+			if busy > 0 {
+				wfm /= busy
+			}
+
+			op := power.OperatingPoint{
+				Freq:                f,
+				BusyCores:           busy,
+				WFMFraction:         wfm,
+				LLCReadsPerSec:      llcR,
+				LLCWritesPerSec:     llcW,
+				MemReadBytesPerSec:  memR,
+				MemWriteBytesPerSec: memW,
+			}
+			out.Energy += units.EnergyOver(cfg.Server.Power(op), sampleSec)
+		}
+	}
+	out.ActiveServers = active
+
+	// Pool-cap accounting: servers beyond the physical pool count as
+	// violations for every sample of the slot.
+	if cfg.MaxServers > 0 && active > cfg.MaxServers {
+		out.Violations += (active - cfg.MaxServers) * trace.SamplesPerSlot
+	}
+	return out, nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Trace == nil:
+		return errors.New("dcsim: nil trace")
+	case cfg.Policy == nil:
+		return errors.New("dcsim: nil policy")
+	case cfg.Server == nil:
+		return errors.New("dcsim: nil server model")
+	case cfg.Platform == nil:
+		return errors.New("dcsim: nil platform")
+	case cfg.Predictions == nil:
+		return errors.New("dcsim: nil predictions (build with Predict)")
+	case cfg.HistoryDays <= 0 || cfg.EvalDays <= 0:
+		return errors.New("dcsim: HistoryDays and EvalDays must be positive")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return err
+	}
+	wantSamples := cfg.EvalDays * trace.SamplesPerDay
+	if len(cfg.Predictions.CPU) != len(cfg.Trace.VMs) {
+		return fmt.Errorf("dcsim: predictions cover %d VMs, trace has %d",
+			len(cfg.Predictions.CPU), len(cfg.Trace.VMs))
+	}
+	if len(cfg.Predictions.CPU[0]) < wantSamples {
+		return fmt.Errorf("dcsim: predictions cover %d samples, need %d",
+			len(cfg.Predictions.CPU[0]), wantSamples)
+	}
+	total := (cfg.HistoryDays + cfg.EvalDays) * trace.SamplesPerDay
+	if cfg.Trace.Samples() < total {
+		return fmt.Errorf("dcsim: trace has %d samples, need %d", cfg.Trace.Samples(), total)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// testTrace builds a small 9-day trace (7 history + 2 eval) so tests
+// stay fast while exercising the full pipeline.
+func testTrace(t *testing.T, vms int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig(17)
+	cfg.VMs = vms
+	cfg.Days = 9
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testConfig(t *testing.T, tr *trace.Trace, pol alloc.Policy, ps *PredictionSet) Config {
+	t.Helper()
+	return Config{
+		Trace:       tr,
+		Predictions: ps,
+		HistoryDays: 7,
+		EvalDays:    2,
+		Policy:      pol,
+		Server:      power.NTCServer(),
+		Platform:    platform.NTCServer(),
+		MaxServers:  600,
+	}
+}
+
+func oracle(t *testing.T, tr *trace.Trace) *PredictionSet {
+	t.Helper()
+	ps, err := Predict(tr, nil, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestPredictOracleEqualsActual(t *testing.T) {
+	tr := testTrace(t, 20)
+	ps := oracle(t, tr)
+	if ps.Predictor != "oracle" {
+		t.Errorf("predictor = %q, want oracle", ps.Predictor)
+	}
+	evalStart := 7 * trace.SamplesPerDay
+	for v := range tr.VMs {
+		for i := 0; i < 2*trace.SamplesPerDay; i++ {
+			if ps.CPU[v][i] != tr.VMs[v].CPU[evalStart+i] {
+				t.Fatalf("oracle CPU mismatch at VM %d sample %d", v, i)
+			}
+		}
+	}
+}
+
+func TestPredictARIMAWithinRange(t *testing.T) {
+	tr := testTrace(t, 12)
+	ps, err := Predict(tr, &forecast.ARIMA{Cfg: forecast.DefaultConfig()}, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Predictor == "oracle" {
+		t.Error("predictor name not propagated")
+	}
+	for v := range ps.CPU {
+		if len(ps.CPU[v]) != 2*trace.SamplesPerDay {
+			t.Fatalf("VM %d: %d samples, want %d", v, len(ps.CPU[v]), 2*trace.SamplesPerDay)
+		}
+		for i, p := range ps.CPU[v] {
+			if p < 0 || p > 100 || math.IsNaN(p) {
+				t.Fatalf("VM %d forecast[%d] = %v", v, i, p)
+			}
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	tr := testTrace(t, 5)
+	if _, err := Predict(tr, nil, 0, 2); err == nil {
+		t.Error("historyDays=0 accepted")
+	}
+	if _, err := Predict(tr, nil, 7, 20); err == nil {
+		t.Error("eval beyond trace accepted")
+	}
+}
+
+func TestRunProducesConsistentSlots(t *testing.T) {
+	tr := testTrace(t, 60)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	res, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slots) != 48 {
+		t.Fatalf("slots = %d, want 48 (2 days)", len(res.Slots))
+	}
+	for _, s := range res.Slots {
+		if s.Energy <= 0 {
+			t.Errorf("slot %d: non-positive energy", s.Slot)
+		}
+		if s.ActiveServers <= 0 {
+			t.Errorf("slot %d: no active servers", s.Slot)
+		}
+		if s.Violations < 0 {
+			t.Errorf("slot %d: negative violations", s.Slot)
+		}
+	}
+	if res.TotalEnergy <= 0 || res.MeanActive <= 0 {
+		t.Error("aggregates not populated")
+	}
+	if res.PeakActive < int(res.MeanActive) {
+		t.Error("peak active below mean")
+	}
+}
+
+func TestOracleRunHasNoViolationsForEPACT(t *testing.T) {
+	// With perfect predictions and EPACT's slack (packing to ≈61% of
+	// capacity while 100% is deliverable), overutilisation should be
+	// essentially absent.
+	tr := testTrace(t, 60)
+	ps := oracle(t, tr)
+	res, err := Run(testConfig(t, tr, &alloc.EPACT{Model: power.NTCServer()}, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalViol != 0 {
+		t.Errorf("EPACT oracle violations = %d, want 0", res.TotalViol)
+	}
+}
+
+func TestEPACTUsesMoreServersButLessEnergyThanCOAT(t *testing.T) {
+	// The paper's core result (Figs. 5 and 6): consolidation (COAT)
+	// activates fewer servers yet consumes more energy on NTC
+	// servers.
+	tr := testTrace(t, 80)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+
+	epact, err := Run(testConfig(t, tr, &alloc.EPACT{Model: power.NTCServer()}, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coat, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epact.MeanActive <= coat.MeanActive {
+		t.Errorf("EPACT mean active %.1f should exceed COAT %.1f", epact.MeanActive, coat.MeanActive)
+	}
+	if epact.TotalEnergy >= coat.TotalEnergy {
+		t.Errorf("EPACT energy %v should be below COAT %v", epact.TotalEnergy, coat.TotalEnergy)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := testTrace(t, 10)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	good := testConfig(t, tr, alloc.NewCOAT(spec), ps)
+
+	bad := good
+	bad.Trace = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad = good
+	bad.Policy = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad = good
+	bad.Predictions = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil predictions accepted")
+	}
+	bad = good
+	bad.EvalDays = 5
+	if _, err := Run(bad); err == nil {
+		t.Error("eval beyond predictions accepted")
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	tr := testTrace(t, 40)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	res, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EnergyPerSlotMJ()) != len(res.Slots) ||
+		len(res.ViolationsPerSlot()) != len(res.Slots) ||
+		len(res.ActiveServersPerSlot()) != len(res.Slots) {
+		t.Error("series accessors disagree with slot count")
+	}
+}
+
+func TestFixedFreqPolicyDeliversLessCapacity(t *testing.T) {
+	// COAT-OPT's fixed cap means its servers cannot boost past the
+	// planned frequency: for the same trace it must register at least
+	// as many violations as a dynamic policy with the same packing.
+	tr := testTrace(t, 60)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+
+	fixed, err := Run(testConfig(t, tr, alloc.NewCOATOPT(spec, units.GHz(1.9)), ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same cap but with boost allowed (a COAT at 61% cap without
+	// FixedFreq) must violate strictly less.
+	flexible := &alloc.COAT{CapFrac: 1.9 / 3.1, PlannedFreq: units.GHz(1.9),
+		CorrThreshold: 0.5, Label: "COAT-OPT-flexible"}
+	flex, err := Run(testConfig(t, tr, flexible, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.TotalViol < flex.TotalViol {
+		t.Errorf("fixed-cap violations %d below boost-capable %d", fixed.TotalViol, flex.TotalViol)
+	}
+	// With oracle predictions and 39%-of-capacity headroom, the
+	// boost-capable variant should see none at all.
+	if flex.TotalViol != 0 {
+		t.Errorf("boost-capable variant violated %d times under oracle predictions", flex.TotalViol)
+	}
+}
+
+func TestPoolCapViolations(t *testing.T) {
+	// A tiny pool must register overflow violations.
+	tr := testTrace(t, 60)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	cfg := testConfig(t, tr, alloc.NewCOAT(spec), ps)
+	cfg.MaxServers = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalViol == 0 {
+		t.Error("pool cap of 1 server produced no violations")
+	}
+}

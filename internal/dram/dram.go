@@ -1,0 +1,81 @@
+// Package dram models the DDR4 memory channel of the NTC server: a
+// DDR4-2400 device with 19.2 GB/s peak bandwidth and a closed-page
+// latency model with bandwidth-dependent queueing, following the
+// Micron DDR4 datasheet parameters the paper cites.
+package dram
+
+import "errors"
+
+// Config describes one memory channel.
+type Config struct {
+	// DataRate is the transfer rate in MT/s (2400 for DDR4-2400).
+	DataRate float64
+
+	// BusBytes is the data-bus width in bytes (8 for a x64 channel).
+	BusBytes float64
+
+	// BaseLatency is the unloaded read latency seen by the core,
+	// including controller and interconnect time.
+	BaseLatency float64
+
+	// LineBytes is the transfer granularity (one 64 B cache line).
+	LineBytes float64
+}
+
+// DDR4_2400 returns the NTC server's memory configuration: DDR4
+// clocked at 2400 MT/s with a peak bandwidth of 19.2 GB/s, as in
+// Section III-A.
+func DDR4_2400() Config {
+	return Config{
+		DataRate:    2400,
+		BusBytes:    8,
+		BaseLatency: 75e-9,
+		LineBytes:   64,
+	}
+}
+
+// PeakBandwidth returns the theoretical peak bandwidth in bytes/s
+// (DataRate MT/s × bus width).
+func (c Config) PeakBandwidth() float64 {
+	return c.DataRate * 1e6 * c.BusBytes
+}
+
+// ErrOverloaded reports a demand beyond the channel's peak bandwidth.
+var ErrOverloaded = errors.New("dram: demanded bandwidth exceeds channel peak")
+
+// EffectiveLatency returns the average access latency at the given
+// demanded bandwidth (bytes/s) using an M/D/1-style queueing factor
+// 1/(1-rho) capped at 95% utilisation; beyond that the channel
+// saturates and latency is reported at the cap.
+func (c Config) EffectiveLatency(demandBytesPerSec float64) float64 {
+	rho := demandBytesPerSec / c.PeakBandwidth()
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 0.95 {
+		rho = 0.95
+	}
+	return c.BaseLatency / (1 - rho)
+}
+
+// SustainableBandwidth returns the demand the channel can actually
+// carry: min(demand, peak). The boolean reports whether the demand had
+// to be clipped.
+func (c Config) SustainableBandwidth(demandBytesPerSec float64) (float64, bool) {
+	peak := c.PeakBandwidth()
+	if demandBytesPerSec > peak {
+		return peak, true
+	}
+	return demandBytesPerSec, false
+}
+
+// AccessTime returns the time to transfer n cache lines at the given
+// background demand, serialising transfers at the sustainable rate.
+func (c Config) AccessTime(lines float64, demandBytesPerSec float64) float64 {
+	if lines <= 0 {
+		return 0
+	}
+	bw, _ := c.SustainableBandwidth(demandBytesPerSec)
+	transfer := lines * c.LineBytes / c.PeakBandwidth()
+	return c.EffectiveLatency(bw) + transfer
+}

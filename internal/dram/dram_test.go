@@ -1,0 +1,74 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDDR4PeakBandwidth(t *testing.T) {
+	// Section III-A: DDR4 at 2400 MHz with a peak of 19.2 GB/s.
+	cfg := DDR4_2400()
+	if got := cfg.PeakBandwidth(); math.Abs(got-19.2e9) > 1 {
+		t.Errorf("peak = %v, want 19.2e9", got)
+	}
+}
+
+func TestEffectiveLatencyGrowsWithLoad(t *testing.T) {
+	cfg := DDR4_2400()
+	unloaded := cfg.EffectiveLatency(0)
+	if math.Abs(unloaded-cfg.BaseLatency) > 1e-15 {
+		t.Errorf("unloaded latency = %v, want base %v", unloaded, cfg.BaseLatency)
+	}
+	half := cfg.EffectiveLatency(9.6e9)
+	if math.Abs(half-2*cfg.BaseLatency) > 1e-12 {
+		t.Errorf("latency at 50%% = %v, want 2x base", half)
+	}
+	prev := 0.0
+	for d := 0.0; d <= 25e9; d += 1e9 {
+		l := cfg.EffectiveLatency(d)
+		if l < prev {
+			t.Fatalf("latency decreased at %v B/s", d)
+		}
+		prev = l
+	}
+}
+
+func TestEffectiveLatencyCapped(t *testing.T) {
+	cfg := DDR4_2400()
+	at95 := cfg.BaseLatency / 0.05
+	if got := cfg.EffectiveLatency(100e9); math.Abs(got-at95) > 1e-12 {
+		t.Errorf("saturated latency = %v, want capped %v", got, at95)
+	}
+	// Negative demand treated as idle.
+	if got := cfg.EffectiveLatency(-5); got != cfg.BaseLatency {
+		t.Errorf("negative demand latency = %v, want base", got)
+	}
+}
+
+func TestSustainableBandwidth(t *testing.T) {
+	cfg := DDR4_2400()
+	bw, clipped := cfg.SustainableBandwidth(10e9)
+	if clipped || bw != 10e9 {
+		t.Errorf("10 GB/s demand = (%v, %v), want unclipped", bw, clipped)
+	}
+	bw, clipped = cfg.SustainableBandwidth(30e9)
+	if !clipped || bw != cfg.PeakBandwidth() {
+		t.Errorf("30 GB/s demand = (%v, %v), want clipped to peak", bw, clipped)
+	}
+}
+
+func TestAccessTime(t *testing.T) {
+	cfg := DDR4_2400()
+	if got := cfg.AccessTime(0, 0); got != 0 {
+		t.Errorf("0 lines = %v, want 0", got)
+	}
+	// One line unloaded: base latency + line transfer time.
+	want := cfg.BaseLatency + 64/cfg.PeakBandwidth()
+	if got := cfg.AccessTime(1, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("1 line = %v, want %v", got, want)
+	}
+	// Under load the same access takes longer.
+	if cfg.AccessTime(1, 15e9) <= cfg.AccessTime(1, 0) {
+		t.Error("loaded access not slower than unloaded")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"repro/internal/dcsim"
+	"repro/internal/forecast"
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// AblationPerfRow compares the calibrated analytical performance path
+// against the event-granular micro simulation for one workload class.
+type AblationPerfRow struct {
+	Workload string
+
+	// AnalyticMPKI vs MicroMPKI: LLC misses per kilo-instruction.
+	AnalyticMPKI, MicroMPKI float64
+
+	// AnalyticWFM vs MicroWFM: wait-for-memory fraction at 2 GHz.
+	AnalyticWFM, MicroWFM float64
+
+	// TimeRatio is micro/analytic single-core execution-time ratio
+	// for the same instruction count at 2 GHz.
+	TimeRatio float64
+}
+
+// AblationPerfModel cross-checks DESIGN.md decision #1: the
+// closed-form T(f) path and the cache/DRAM event path must agree on
+// the aggregate observables the DC study consumes.
+func AblationPerfModel() ([]AblationPerfRow, error) {
+	pl := platform.NTCServer()
+	micro := perf.NTCMicroModel()
+	f := units.GHz(2)
+	const instructions = 2_000_000
+
+	var rows []AblationPerfRow
+	for _, c := range workload.Classes() {
+		spec := workload.Get(c)
+		mr, err := micro.Run(spec, f, instructions, 1234)
+		if err != nil {
+			return nil, err
+		}
+		cell := pl.Cell(c)
+		analyticTime := (cell.CexeGHzs/f.GHz() + cell.TmemSec) * instructions / spec.Instructions
+		rows = append(rows, AblationPerfRow{
+			Workload:     c.String(),
+			AnalyticMPKI: spec.MPKI,
+			MicroMPKI:    mr.MPKI,
+			AnalyticWFM:  pl.WFMFraction(c, f),
+			MicroWFM:     mr.WFMFraction,
+			TimeRatio:    mr.Time / analyticTime,
+		})
+	}
+	return rows, nil
+}
+
+// AblationForecastRow reports one predictor's effect on the week run.
+type AblationForecastRow struct {
+	Predictor     string
+	EPACTViol     int
+	COATViol      int
+	EPACTEnergyMJ float64
+}
+
+// AblationForecast compares ARIMA against seasonal-naive, last-value
+// and the oracle on the same trace (DESIGN.md decision #3): violation
+// counts isolate how much forecast quality matters per policy.
+func AblationForecast(cfg DCConfig) ([]AblationForecastRow, error) {
+	tr, err := trace.Generate(traceConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	predictors := []forecast.Predictor{
+		nil, // oracle
+		&forecast.ARIMA{Cfg: forecast.DefaultConfig()},
+		&forecast.SeasonalNaive{Period: trace.SamplesPerDay},
+		forecast.LastValue{},
+	}
+	var rows []AblationForecastRow
+	for _, pred := range predictors {
+		ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
+		if err != nil {
+			return nil, err
+		}
+		week, err := fig4to6With(cfg, tr, ps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationForecastRow{
+			Predictor:     ps.Predictor,
+			EPACTViol:     week.TotalViol["EPACT"],
+			COATViol:      week.TotalViol["COAT"],
+			EPACTEnergyMJ: week.TotalEnergyMJ["EPACT"],
+		})
+	}
+	return rows, nil
+}
+
+// AblationTraceRow reports EPACT's advantage at one correlation level.
+type AblationTraceRow struct {
+	// CommonStd is the generator's correlated-component strength.
+	CommonStd float64
+
+	// IntraGroupCorr is the measured mean intra-group correlation.
+	IntraGroupCorr float64
+
+	// SavingVsCOATPct is EPACT's weekly saving.
+	SavingVsCOATPct float64
+}
+
+// AblationTraceCorrelation sweeps the trace generator's correlation
+// strength (DESIGN.md decision #2): EPACT's advantage must persist
+// across the regime real traces occupy.
+func AblationTraceCorrelation(cfg DCConfig) ([]AblationTraceRow, error) {
+	var rows []AblationTraceRow
+	for _, std := range []float64{0, 2, 4} {
+		tc := traceConfig(cfg)
+		tc.CommonStd = std
+		tr, err := trace.Generate(tc)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := dcsim.Predict(tr, nil, 7, cfg.EvalDays)
+		if err != nil {
+			return nil, err
+		}
+		week, err := fig4to6With(cfg, tr, ps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationTraceRow{
+			CommonStd:       std,
+			IntraGroupCorr:  tr.MeanIntraGroupCorrelation(tc.Groups),
+			SavingVsCOATPct: week.Summary.WeeklySavingVsCOATPct,
+		})
+	}
+	return rows, nil
+}

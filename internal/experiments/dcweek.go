@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// DCConfig parameterises the data-center experiments (Figs. 4-7).
+type DCConfig struct {
+	// VMs and EvalDays set the scale; the paper uses 600 VMs over one
+	// week (7 evaluated days after 7 history days).
+	VMs      int
+	EvalDays int
+
+	// Seed drives the trace generator.
+	Seed int64
+
+	// UseARIMA selects the paper's predictor; false uses the oracle
+	// (perfect prediction), isolating allocation effects.
+	UseARIMA bool
+
+	// MaxServers is the physical pool (600 in the paper).
+	MaxServers int
+
+	// StaticPowerW overrides the server's static platform power
+	// (motherboard/fan/disk); 0 keeps the default 15 W. Fig. 7 sweeps
+	// this between 5 and 45 W.
+	StaticPowerW float64
+}
+
+// DefaultDCConfig mirrors the paper's setup. The trace generator's
+// load levels are raised (base 55-90%) so the aggregate demand puts
+// the active-server counts in the range of the paper's Fig. 5.
+func DefaultDCConfig() DCConfig {
+	return DCConfig{
+		VMs:        600,
+		EvalDays:   7,
+		Seed:       2018,
+		UseARIMA:   true,
+		MaxServers: 600,
+	}
+}
+
+// traceConfig builds the generator parameters for the DC experiments.
+func traceConfig(cfg DCConfig) trace.Config {
+	tc := trace.DefaultConfig(cfg.Seed)
+	tc.VMs = cfg.VMs
+	tc.Days = 7 + cfg.EvalDays // one week of history plus the horizon
+	// Raised load levels and a deep day/night swing put the aggregate
+	// demand — and hence the active-server counts — in the range of
+	// the paper's Fig. 5 (roughly a 2-3x swing between valley and
+	// peak).
+	tc.BaseMin = 35
+	tc.BaseMax = 85
+	tc.DiurnalAmplitude = 28
+	return tc
+}
+
+// serverModel builds the NTC server with an optional static-power
+// override.
+func serverModel(staticW float64) *power.ServerModel {
+	m := power.NTCServer()
+	if staticW > 0 {
+		m.Motherboard = units.Watts(staticW)
+	}
+	return m
+}
+
+// DCWeekResult carries the week-long comparison behind Figs. 4-6.
+type DCWeekResult struct {
+	// Policies in presentation order (EPACT, COAT, COAT-OPT).
+	Policies []string
+
+	// Per-slot series per policy.
+	Violations map[string][]int     // Fig. 4
+	Active     map[string][]int     // Fig. 5
+	EnergyMJ   map[string][]float64 // Fig. 6
+
+	// Weekly aggregates per policy.
+	TotalEnergyMJ  map[string]float64
+	TotalViol      map[string]int
+	MeanActive     map[string]float64
+	PlannedFreqGHz map[string]float64
+
+	// Summary holds the paper's headline comparisons.
+	Summary DCSummary
+}
+
+// DCSummary condenses the paper's Section VI-C claims.
+type DCSummary struct {
+	// COATServerReductionPct: how many fewer servers COAT activates
+	// than EPACT on average (paper: 37%).
+	COATServerReductionPct float64
+
+	// BestSlotSavingVsCOATPct is EPACT's best per-slot energy saving
+	// vs COAT (paper: up to 45%).
+	BestSlotSavingVsCOATPct float64
+
+	// WeeklySavingVsCOATPct and WeeklySavingVsCOATOPTPct are EPACT's
+	// total-energy savings over the horizon (paper: 45% and 10% in
+	// the best and worst case).
+	WeeklySavingVsCOATPct    float64
+	WeeklySavingVsCOATOPTPct float64
+
+	// ViolationRatioCOAT is COAT's violation count over EPACT's
+	// (EPACT's near-zero count is floored at 1 to keep it finite).
+	ViolationRatioCOAT float64
+}
+
+// Fig4to6 runs the week-long data-center comparison producing the
+// violation (Fig. 4), active-server (Fig. 5) and energy (Fig. 6)
+// series for EPACT, COAT and COAT-OPT on the same trace and the same
+// predictions.
+func Fig4to6(cfg DCConfig) (*DCWeekResult, error) {
+	tr, err := trace.Generate(traceConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var pred forecast.Predictor
+	if cfg.UseARIMA {
+		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
+	}
+	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
+	if err != nil {
+		return nil, err
+	}
+	return fig4to6With(cfg, tr, ps)
+}
+
+// fig4to6With runs the comparison with a pre-built trace and
+// prediction set (shared by Fig. 7 and the benchmarks).
+func fig4to6With(cfg DCConfig, tr *trace.Trace, ps *dcsim.PredictionSet) (*DCWeekResult, error) {
+	model := serverModel(cfg.StaticPowerW)
+	spec := alloc.ServerSpec{
+		Cores:         model.Cores,
+		MemContainers: model.DRAM.Capacity.GB(),
+		FMax:          model.FMax,
+		FMin:          model.FMin,
+	}
+	policies := []alloc.Policy{
+		&alloc.EPACT{Model: model},
+		alloc.NewCOAT(spec),
+		alloc.NewCOATOPT(spec, model.OptimalFrequency()),
+	}
+
+	res := &DCWeekResult{
+		Violations:     map[string][]int{},
+		Active:         map[string][]int{},
+		EnergyMJ:       map[string][]float64{},
+		TotalEnergyMJ:  map[string]float64{},
+		TotalViol:      map[string]int{},
+		MeanActive:     map[string]float64{},
+		PlannedFreqGHz: map[string]float64{},
+	}
+	for _, pol := range policies {
+		run, err := dcsim.Run(dcsim.Config{
+			Trace:       tr,
+			Predictions: ps,
+			HistoryDays: 7,
+			EvalDays:    cfg.EvalDays,
+			Policy:      pol,
+			Server:      model,
+			Platform:    platform.NTCServer(),
+			MaxServers:  cfg.MaxServers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
+		}
+		name := pol.Name()
+		res.Policies = append(res.Policies, name)
+		res.Violations[name] = run.ViolationsPerSlot()
+		res.Active[name] = run.ActiveServersPerSlot()
+		res.EnergyMJ[name] = run.EnergyPerSlotMJ()
+		res.TotalEnergyMJ[name] = run.TotalEnergy.MJ()
+		res.TotalViol[name] = run.TotalViol
+		res.MeanActive[name] = run.MeanActive
+		var fSum float64
+		for _, s := range run.Slots {
+			fSum += s.PlannedFreq.GHz()
+		}
+		if len(run.Slots) > 0 {
+			res.PlannedFreqGHz[name] = fSum / float64(len(run.Slots))
+		}
+	}
+	res.Summary = summarise(res)
+	return res, nil
+}
+
+// summarise computes the headline comparisons.
+func summarise(r *DCWeekResult) DCSummary {
+	var s DCSummary
+	epact, coat, coatOpt := "EPACT", "COAT", "COAT-OPT"
+
+	if me := r.MeanActive[epact]; me > 0 {
+		s.COATServerReductionPct = 100 * (1 - r.MeanActive[coat]/me)
+	}
+	if te := r.TotalEnergyMJ[coat]; te > 0 {
+		s.WeeklySavingVsCOATPct = 100 * (1 - r.TotalEnergyMJ[epact]/te)
+	}
+	if to := r.TotalEnergyMJ[coatOpt]; to > 0 {
+		s.WeeklySavingVsCOATOPTPct = 100 * (1 - r.TotalEnergyMJ[epact]/to)
+	}
+	best := 0.0
+	ce := r.EnergyMJ[coat]
+	ee := r.EnergyMJ[epact]
+	for i := range ce {
+		if i < len(ee) && ce[i] > 0 {
+			if saving := 100 * (1 - ee[i]/ce[i]); saving > best {
+				best = saving
+			}
+		}
+	}
+	s.BestSlotSavingVsCOATPct = best
+
+	epactViol := r.TotalViol[epact]
+	if epactViol < 1 {
+		epactViol = 1
+	}
+	s.ViolationRatioCOAT = float64(r.TotalViol[coat]) / float64(epactViol)
+	return s
+}

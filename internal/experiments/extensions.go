@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Extension experiments beyond the paper's evaluation: the full policy
+// zoo (including the Verma binary baseline and load balancing the
+// paper only mentions), churn sensitivity, and transition-cost
+// accounting.
+
+// PolicyZooRow is one policy's week under identical conditions.
+type PolicyZooRow struct {
+	Policy       string
+	EnergyMJ     float64
+	Violations   int
+	MeanActive   float64
+	Migrations   int
+	TransitionMJ float64
+}
+
+// PolicyZoo runs every implemented policy — EPACT, COAT, COAT-OPT,
+// FFD, Verma-binary and load-balance — on the same trace, predictions
+// and transition model, extending the paper's three-way comparison.
+func PolicyZoo(cfg DCConfig, transitions dcsim.TransitionModel) ([]PolicyZooRow, error) {
+	tr, err := trace.Generate(traceConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var pred forecast.Predictor
+	if cfg.UseARIMA {
+		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
+	}
+	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
+	if err != nil {
+		return nil, err
+	}
+
+	model := serverModel(cfg.StaticPowerW)
+	spec := alloc.ServerSpec{
+		Cores:         model.Cores,
+		MemContainers: model.DRAM.Capacity.GB(),
+		FMax:          model.FMax,
+		FMin:          model.FMin,
+	}
+	policies := []alloc.Policy{
+		&alloc.EPACT{Model: model},
+		alloc.NewCOAT(spec),
+		alloc.NewCOATOPT(spec, model.OptimalFrequency()),
+		&alloc.FFD{},
+		alloc.NewVerma(),
+		&alloc.LoadBalance{},
+	}
+
+	var rows []PolicyZooRow
+	for _, pol := range policies {
+		run, err := dcsim.Run(dcsim.Config{
+			Trace:       tr,
+			Predictions: ps,
+			HistoryDays: 7,
+			EvalDays:    cfg.EvalDays,
+			Policy:      pol,
+			Server:      model,
+			Platform:    platform.NTCServer(),
+			MaxServers:  cfg.MaxServers,
+			Transitions: transitions,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
+		}
+		rows = append(rows, PolicyZooRow{
+			Policy:       run.Policy,
+			EnergyMJ:     run.TotalEnergy.MJ(),
+			Violations:   run.TotalViol,
+			MeanActive:   run.MeanActive,
+			Migrations:   run.TotalMigrations,
+			TransitionMJ: run.TotalTransitionEnergy.MJ(),
+		})
+	}
+	return rows, nil
+}
+
+// ChurnRow reports one churn level's effect on the EPACT-vs-COAT gap.
+type ChurnRow struct {
+	// ChurnFraction is the arrival/departure share applied.
+	ChurnFraction float64
+
+	// AffectedVMs is how many VMs the churn pass touched.
+	AffectedVMs int
+
+	// EPACTEnergyMJ, COATEnergyMJ and SavingPct as in Fig. 7.
+	EPACTEnergyMJ, COATEnergyMJ, SavingPct float64
+}
+
+// ChurnSensitivity re-runs the EPACT-vs-COAT comparison under
+// increasing VM churn (the Google traces' population dynamics the
+// base experiment idealises away).
+func ChurnSensitivity(cfg DCConfig) ([]ChurnRow, error) {
+	var rows []ChurnRow
+	for _, frac := range []float64{0, 0.25, 0.5} {
+		tr, err := trace.Generate(traceConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		affected := 0
+		if frac > 0 {
+			cc := trace.DefaultChurnConfig(cfg.Seed + 99)
+			cc.ArrivalFraction = frac
+			cc.DepartureFraction = frac
+			affected, err = tr.ApplyChurn(cc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ps, err := dcsim.Predict(tr, nil, 7, cfg.EvalDays)
+		if err != nil {
+			return nil, err
+		}
+		week, err := fig4to6With(cfg, tr, ps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ChurnRow{
+			ChurnFraction: frac,
+			AffectedVMs:   affected,
+			EPACTEnergyMJ: week.TotalEnergyMJ["EPACT"],
+			COATEnergyMJ:  week.TotalEnergyMJ["COAT"],
+			SavingPct:     week.Summary.WeeklySavingVsCOATPct,
+		})
+	}
+	return rows, nil
+}

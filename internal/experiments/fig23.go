@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/qos"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// fig2Freqs are the frequency points the paper plots in Figs. 2 and 3.
+var fig2Freqs = []float64{0.1, 0.2, 0.5, 1.0, 1.2, 1.5, 1.8, 2.0, 2.5}
+
+// Fig2Result reproduces Fig. 2: execution time normalised to the QoS
+// limit vs core frequency on the NTC server.
+type Fig2Result struct {
+	FreqsGHz []float64
+
+	// Normalized[class][i] is T(f_i)/QoS-limit for the class.
+	Normalized map[string][]float64
+
+	// MinQoSFreqGHz[class] is the lowest frequency meeting QoS (the
+	// crossover: 1.2 GHz low-mem, 1.8 GHz mid/high-mem).
+	MinQoSFreqGHz map[string]float64
+}
+
+// Fig2 regenerates the normalised-execution-time curves.
+func Fig2() (*Fig2Result, error) {
+	ntc := platform.NTCServer()
+	res := &Fig2Result{
+		FreqsGHz:      fig2Freqs,
+		Normalized:    map[string][]float64{},
+		MinQoSFreqGHz: map[string]float64{},
+	}
+	for _, c := range workload.Classes() {
+		series := make([]float64, len(fig2Freqs))
+		for i, g := range fig2Freqs {
+			series[i] = qos.NormalizedTime(ntc, c, units.GHz(g))
+		}
+		res.Normalized[c.String()] = series
+		f, err := qos.MinFrequency(ntc, c)
+		if err != nil {
+			return nil, err
+		}
+		res.MinQoSFreqGHz[c.String()] = f.GHz()
+	}
+	return res, nil
+}
+
+// Fig3Result reproduces Fig. 3: server efficiency in billions of user
+// instructions per second per watt (BUIPS/W) vs core frequency, with
+// the full server power including DRAM activity in the denominator.
+type Fig3Result struct {
+	FreqsGHz []float64
+
+	// Efficiency[class][i] is BUIPS/W at f_i.
+	Efficiency map[string][]float64
+
+	// PeakFreqGHz[class] is the efficiency-maximising frequency
+	// (paper: ≈1.5 GHz for low/mid-mem, ≈1.2 GHz for high-mem).
+	PeakFreqGHz map[string]float64
+}
+
+// Fig3 regenerates the efficiency curves: all 16 cores run one VM
+// each (the paper's server-level setup) and the denominator is the
+// whole-server power at the induced operating point.
+func Fig3() (*Fig3Result, error) {
+	pl := platform.NTCServer()
+	srv := power.NTCServer()
+	res := &Fig3Result{
+		FreqsGHz:    fig2Freqs,
+		Efficiency:  map[string][]float64{},
+		PeakFreqGHz: map[string]float64{},
+	}
+	for _, c := range workload.Classes() {
+		series := make([]float64, len(fig2Freqs))
+		bestF, bestE := 0.0, -1.0
+		for i, g := range fig2Freqs {
+			e := efficiencyAt(pl, srv, c, units.GHz(g))
+			series[i] = e
+			if e > bestE {
+				bestF, bestE = g, e
+			}
+		}
+		res.Efficiency[c.String()] = series
+		res.PeakFreqGHz[c.String()] = bestF
+	}
+	return res, nil
+}
+
+// efficiencyAt computes BUIPS/W for one class at one frequency.
+func efficiencyAt(pl *platform.Platform, srv *power.ServerModel, c workload.Class, f units.Frequency) float64 {
+	cores := float64(srv.Cores)
+	obs := perf.Observe(pl, c, f, cores)
+	op := power.OperatingPoint{
+		Freq:                f,
+		BusyCores:           cores,
+		WFMFraction:         obs.WFMFraction,
+		LLCReadsPerSec:      obs.LLCReadsPerSec,
+		LLCWritesPerSec:     obs.LLCWritesPerSec,
+		MemReadBytesPerSec:  obs.MemReadBytesPerSec,
+		MemWriteBytesPerSec: obs.MemWriteBytesPerSec,
+	}
+	p := srv.Power(op).W()
+	if p <= 0 {
+		return 0
+	}
+	return obs.ChipUIPS / 1e9 / p
+}

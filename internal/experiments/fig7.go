@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/dcsim"
+	"repro/internal/forecast"
+	"repro/internal/trace"
+)
+
+// Fig7Row is one static-power point of Fig. 7.
+type Fig7Row struct {
+	StaticW float64
+
+	// EPACTEnergyMJ and COATEnergyMJ are horizon totals.
+	EPACTEnergyMJ, COATEnergyMJ float64
+
+	// SavingPct is EPACT's saving over COAT (the right axis of
+	// Fig. 7; the paper shows it shrinking as static power grows).
+	SavingPct float64
+
+	// EPACTPlannedFreqGHz is EPACT's mean cap frequency: the paper
+	// notes the optimal frequency rises with static power.
+	EPACTPlannedFreqGHz float64
+
+	// EPACTMeanActive tracks the shrinking server pool.
+	EPACTMeanActive float64
+}
+
+// Fig7Result reproduces Fig. 7: the efficiency of EPACT vs COAT as
+// the per-server static power (motherboard, fan, disk) grows from an
+// efficient 5 W to a traditional power-hungry 45 W.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7 sweeps the static power over the paper's 5-45 W range. The
+// trace and predictions are generated once and shared across the
+// sweep so rows differ only in the server model.
+func Fig7(cfg DCConfig) (*Fig7Result, error) {
+	tr, err := trace.Generate(traceConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var pred forecast.Predictor
+	if cfg.UseARIMA {
+		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
+	}
+	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{}
+	for _, static := range []float64{5, 15, 25, 35, 45} {
+		c := cfg
+		c.StaticPowerW = static
+		week, err := fig4to6With(c, tr, ps)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			StaticW:             static,
+			EPACTEnergyMJ:       week.TotalEnergyMJ["EPACT"],
+			COATEnergyMJ:        week.TotalEnergyMJ["COAT"],
+			SavingPct:           week.Summary.WeeklySavingVsCOATPct,
+			EPACTPlannedFreqGHz: week.PlannedFreqGHz["EPACT"],
+			EPACTMeanActive:     week.MeanActive["EPACT"],
+		})
+	}
+	return res, nil
+}

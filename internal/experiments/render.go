@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Render writes Table I in the paper's layout.
+func (r *TableIResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tIntel x86 @2.66GHz\t2x Degrad. (QoS limit)\tCavium @2GHz\tNTC Server @2GHz\tNTC vs Cavium")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.2fx\n",
+			row.Workload, row.X86, row.QoSLimit, row.Cavium, row.NTC, row.SpeedupVsCavium)
+	}
+	return tw.Flush()
+}
+
+// CSV returns Table I as CSV rows.
+func (r *TableIResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,x86_s,qos_limit_s,cavium_s,ntc_s,speedup_vs_cavium\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			row.Workload, row.X86, row.QoSLimit, row.Cavium, row.NTC, row.SpeedupVsCavium)
+	}
+	return b.String()
+}
+
+// Render writes the Fig. 1 sweep as one row per frequency with a
+// column per utilisation rate.
+func (r *Fig1Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s: power (kW) vs frequency\n", r.Label)
+	fmt.Fprint(tw, "GHz")
+	for _, s := range r.Series {
+		fmt.Fprintf(tw, "\t%d%%", s.UtilPct)
+	}
+	fmt.Fprintln(tw)
+
+	// Collect the union of frequencies.
+	freqSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			freqSet[p.FreqGHz] = true
+		}
+	}
+	freqs := make([]float64, 0, len(freqSet))
+	for f := range freqSet {
+		freqs = append(freqs, f)
+	}
+	sort.Float64s(freqs)
+
+	for _, f := range freqs {
+		fmt.Fprintf(tw, "%.1f", f)
+		for _, s := range r.Series {
+			val := ""
+			for _, p := range s.Points {
+				if p.FreqGHz == f {
+					val = fmt.Sprintf("%.2f", p.PowerKW)
+					break
+				}
+			}
+			fmt.Fprintf(tw, "\t%s", val)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "opt(GHz)")
+	for i := range r.Series {
+		fmt.Fprintf(tw, "\t%.1f", r.OptimalFreqGHz[i])
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// CSV returns the Fig. 1 sweep as long-format CSV.
+func (r *Fig1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("util_pct,freq_ghz,power_kw,servers\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%d,%.2f,%.4f,%d\n", s.UtilPct, p.FreqGHz, p.PowerKW, p.Servers)
+		}
+	}
+	return b.String()
+}
+
+// classOrder presents workload classes in the paper's order.
+var classOrder = []string{"low-mem", "mid-mem", "high-mem"}
+
+// Render writes the Fig. 2 normalised-time curves.
+func (r *Fig2Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig2: execution time normalised to QoS limit (>1 violates)")
+	fmt.Fprintln(tw, "GHz\tlow-mem\tmid-mem\thigh-mem")
+	for i, f := range r.FreqsGHz {
+		fmt.Fprintf(tw, "%.1f\t%.2f\t%.2f\t%.2f\n",
+			f, r.Normalized["low-mem"][i], r.Normalized["mid-mem"][i], r.Normalized["high-mem"][i])
+	}
+	fmt.Fprintf(tw, "min QoS freq\t%.1f\t%.1f\t%.1f\n",
+		r.MinQoSFreqGHz["low-mem"], r.MinQoSFreqGHz["mid-mem"], r.MinQoSFreqGHz["high-mem"])
+	return tw.Flush()
+}
+
+// CSV returns the Fig. 2 curves as CSV.
+func (r *Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("freq_ghz,low_mem,mid_mem,high_mem\n")
+	for i, f := range r.FreqsGHz {
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f,%.4f\n",
+			f, r.Normalized["low-mem"][i], r.Normalized["mid-mem"][i], r.Normalized["high-mem"][i])
+	}
+	return b.String()
+}
+
+// Render writes the Fig. 3 efficiency curves.
+func (r *Fig3Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig3: server efficiency (BUIPS/W)")
+	fmt.Fprintln(tw, "GHz\tlow-mem\tmid-mem\thigh-mem")
+	for i, f := range r.FreqsGHz {
+		fmt.Fprintf(tw, "%.1f\t%.3f\t%.3f\t%.3f\n",
+			f, r.Efficiency["low-mem"][i], r.Efficiency["mid-mem"][i], r.Efficiency["high-mem"][i])
+	}
+	fmt.Fprintf(tw, "peak freq\t%.1f\t%.1f\t%.1f\n",
+		r.PeakFreqGHz["low-mem"], r.PeakFreqGHz["mid-mem"], r.PeakFreqGHz["high-mem"])
+	return tw.Flush()
+}
+
+// CSV returns the Fig. 3 curves as CSV.
+func (r *Fig3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("freq_ghz,low_mem,mid_mem,high_mem\n")
+	for i, f := range r.FreqsGHz {
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f,%.4f\n",
+			f, r.Efficiency["low-mem"][i], r.Efficiency["mid-mem"][i], r.Efficiency["high-mem"][i])
+	}
+	return b.String()
+}
+
+// Render writes the week-run summary and a per-slot digest.
+func (r *DCWeekResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figs 4-6: one-week data-center comparison")
+	fmt.Fprintln(tw, "policy\ttotal energy (MJ)\tviolations\tmean active\tmean planned GHz")
+	for _, p := range r.Policies {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%.1f\t%.2f\n",
+			p, r.TotalEnergyMJ[p], r.TotalViol[p], r.MeanActive[p], r.PlannedFreqGHz[p])
+	}
+	s := r.Summary
+	fmt.Fprintf(tw, "\nCOAT uses %.0f%% fewer servers than EPACT (paper: 37%%)\n", s.COATServerReductionPct)
+	fmt.Fprintf(tw, "EPACT best-slot saving vs COAT: %.0f%% (paper: up to 45%%)\n", s.BestSlotSavingVsCOATPct)
+	fmt.Fprintf(tw, "EPACT weekly saving vs COAT: %.0f%%, vs COAT-OPT: %.0f%% (paper: 45%% / 10%%)\n",
+		s.WeeklySavingVsCOATPct, s.WeeklySavingVsCOATOPTPct)
+	fmt.Fprintf(tw, "COAT/EPACT violation ratio: %.0fx\n", s.ViolationRatioCOAT)
+	return tw.Flush()
+}
+
+// CSV returns the per-slot series in long format (figure 4/5/6 data).
+func (r *DCWeekResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("policy,slot,violations,active_servers,energy_mj\n")
+	for _, p := range r.Policies {
+		for i := range r.EnergyMJ[p] {
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%.3f\n",
+				p, i, r.Violations[p][i], r.Active[p][i], r.EnergyMJ[p][i])
+		}
+	}
+	return b.String()
+}
+
+// Render writes the static-power sweep.
+func (r *Fig7Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig7: static power sweep (EPACT vs COAT)")
+	fmt.Fprintln(tw, "static (W)\tEPACT (MJ)\tCOAT (MJ)\tsaving (%)\tEPACT mean GHz\tEPACT servers")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f\n",
+			row.StaticW, row.EPACTEnergyMJ, row.COATEnergyMJ, row.SavingPct,
+			row.EPACTPlannedFreqGHz, row.EPACTMeanActive)
+	}
+	return tw.Flush()
+}
+
+// CSV returns the Fig. 7 rows as CSV.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("static_w,epact_mj,coat_mj,saving_pct,epact_freq_ghz,epact_mean_active\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%.0f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			row.StaticW, row.EPACTEnergyMJ, row.COATEnergyMJ, row.SavingPct,
+			row.EPACTPlannedFreqGHz, row.EPACTMeanActive)
+	}
+	return b.String()
+}

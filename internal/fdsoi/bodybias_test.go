@@ -1,0 +1,137 @@
+package fdsoi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestBodyBiasRange(t *testing.T) {
+	tech := FDSOI28()
+	if _, err := tech.WithBodyBias(0.5); err != nil {
+		t.Errorf("0.5 V FBB rejected: %v", err)
+	}
+	if _, err := tech.WithBodyBias(-0.8); err != nil {
+		t.Errorf("0.8 V RBB rejected: %v", err)
+	}
+	if _, err := tech.WithBodyBias(1.5); !errors.Is(err, ErrBiasRange) {
+		t.Errorf("1.5 V FBB accepted: %v", err)
+	}
+	// Bulk supports a much narrower window.
+	bulk := Bulk32()
+	if _, err := bulk.WithBodyBias(0.5); !errors.Is(err, ErrBiasRange) {
+		t.Errorf("bulk 0.5 V FBB accepted: %v", err)
+	}
+	if _, err := bulk.WithBodyBias(0.2); err != nil {
+		t.Errorf("bulk 0.2 V FBB rejected: %v", err)
+	}
+}
+
+func TestForwardBiasLowersSupplyVoltage(t *testing.T) {
+	tech := FDSOI28()
+	fbb, err := tech.WithBodyBias(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := units.GHz(1.0)
+	if got, plain := fbb.VoltageAt(f).V(), tech.VoltageAt(f).V(); got >= plain {
+		t.Errorf("FBB voltage %v not below unbiased %v", got, plain)
+	}
+	// The shift matches the body-effect coefficient: 85 mV/V × 0.5 V.
+	if shift := fbb.VthShift().V(); math.Abs(shift-(-0.0425)) > 1e-9 {
+		t.Errorf("Vth shift = %v, want -42.5 mV", shift)
+	}
+}
+
+func TestReverseBiasCutsLeakage(t *testing.T) {
+	tech := FDSOI28()
+	rbb, err := tech.WithBodyBias(-1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := units.GHz(1.0)
+	plain := tech.LeakageScale(f)
+	biased := rbb.LeakageScale(f)
+	// RBB raises Vth and the supply follows; the net leakage factor
+	// must still drop substantially (the retention-mode trick).
+	if biased >= plain*0.5 {
+		t.Errorf("RBB leakage %v not well below unbiased %v", biased, plain)
+	}
+}
+
+func TestForwardBiasCostsLeakage(t *testing.T) {
+	tech := FDSOI28()
+	fbb, err := tech.WithBodyBias(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := units.GHz(1.0)
+	if fbb.LeakageScale(f) <= tech.LeakageScale(f) {
+		t.Error("FBB should increase leakage")
+	}
+}
+
+func TestBiasZeroIsNeutral(t *testing.T) {
+	tech := FDSOI28()
+	zero, err := tech.WithBodyBias(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []float64{0.3, 1.0, 2.0, 3.1} {
+		f := units.GHz(g)
+		if math.Abs(zero.VoltageAt(f).V()-tech.VoltageAt(f).V()) > 1e-12 {
+			t.Errorf("zero-bias voltage differs at %v", f)
+		}
+		if math.Abs(zero.LeakageScale(f)-tech.LeakageScale(f)) > 1e-9 {
+			t.Errorf("zero-bias leakage differs at %v", f)
+		}
+	}
+}
+
+func TestFrequencyGainUnderFBB(t *testing.T) {
+	tech := FDSOI28()
+	fbb, err := tech.WithBodyBias(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := fbb.MaxFrequencyGain(units.GHz(1.0))
+	if gain <= 1.0 || gain > 2.0 {
+		t.Errorf("FBB frequency gain = %.2f, want in (1, 2]", gain)
+	}
+	// RBB or zero bias gives no gain.
+	rbb, err := tech.WithBodyBias(-0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := rbb.MaxFrequencyGain(units.GHz(1.0)); g != 1 {
+		t.Errorf("RBB gain = %v, want 1", g)
+	}
+}
+
+func TestDynamicEnergyDropsUnderFBB(t *testing.T) {
+	// Lower supply at the same frequency means quadratically less
+	// dynamic energy — the reason FBB helps near-threshold operation.
+	tech := FDSOI28()
+	fbb, err := tech.WithBodyBias(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := units.GHz(0.5)
+	if fbb.DynamicEnergyScale(f) >= tech.DynamicEnergyScale(f) {
+		t.Error("FBB should reduce dynamic energy at fixed frequency")
+	}
+}
+
+func TestEffectiveThreshold(t *testing.T) {
+	tech := FDSOI28()
+	fbb, _ := tech.WithBodyBias(1.0)
+	rbb, _ := tech.WithBodyBias(-1.0)
+	if fbb.EffectiveThreshold() >= tech.VThreshold {
+		t.Error("FBB should lower the threshold")
+	}
+	if rbb.EffectiveThreshold() <= tech.VThreshold {
+		t.Error("RBB should raise the threshold")
+	}
+}

@@ -1,0 +1,80 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SeasonalNaive forecasts each future sample as the value one period
+// earlier — "tomorrow looks like today". It is the natural reference
+// point for the ARIMA ablation on strongly diurnal traces.
+type SeasonalNaive struct {
+	Period int
+}
+
+// Name implements Predictor.
+func (s *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", s.Period) }
+
+// Forecast implements Predictor.
+func (s *SeasonalNaive) Forecast(history []float64, horizon int) ([]float64, error) {
+	if s.Period <= 0 {
+		return nil, errors.New("forecast: seasonal-naive needs a positive period")
+	}
+	if len(history) < s.Period {
+		return nil, fmt.Errorf("%w: have %d, need >= %d", errTooShort, len(history), s.Period)
+	}
+	if horizon <= 0 {
+		return nil, errors.New("forecast: horizon must be positive")
+	}
+	out := make([]float64, horizon)
+	n := len(history)
+	for h := 0; h < horizon; h++ {
+		idx := n - s.Period + h%s.Period
+		out[h] = history[idx]
+	}
+	return out, nil
+}
+
+// LastValue forecasts a flat continuation of the final sample — the
+// weakest reasonable baseline.
+type LastValue struct{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last-value" }
+
+// Forecast implements Predictor.
+func (LastValue) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(history) == 0 {
+		return nil, errTooShort
+	}
+	if horizon <= 0 {
+		return nil, errors.New("forecast: horizon must be positive")
+	}
+	out := make([]float64, horizon)
+	last := history[len(history)-1]
+	for i := range out {
+		out[i] = last
+	}
+	return out, nil
+}
+
+// Oracle returns the true future — available in simulation only, used
+// to isolate allocation quality from prediction quality in ablations.
+type Oracle struct {
+	// Future supplies the actual values the simulator knows.
+	Future []float64
+}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Forecast implements Predictor.
+func (o *Oracle) Forecast(history []float64, horizon int) ([]float64, error) {
+	if horizon <= 0 {
+		return nil, errors.New("forecast: horizon must be positive")
+	}
+	if len(o.Future) < horizon {
+		return nil, fmt.Errorf("forecast: oracle has %d future samples, need %d", len(o.Future), horizon)
+	}
+	return append([]float64(nil), o.Future[:horizon]...), nil
+}

@@ -1,0 +1,109 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectOrderRanksCandidates(t *testing.T) {
+	series := syntheticDiurnal(5*288, 13)
+	cands, err := SelectOrder(series, 3, 2, 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Sorted best-first.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].AIC < cands[i-1].AIC {
+			t.Fatal("candidates not sorted by AIC")
+		}
+	}
+	// Grid size: 4x3 minus the empty model = 11.
+	if len(cands) != 11 {
+		t.Errorf("candidates = %d, want 11", len(cands))
+	}
+}
+
+func TestSelectOrderPrefersStructureOverNoise(t *testing.T) {
+	// An AR(1)-like series should prefer models with p >= 1 over pure
+	// MA(1): check that the best candidate includes an AR term.
+	state := uint64(99)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000)/500 - 1
+	}
+	series := make([]float64, 3000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.85*series[i-1] + next()
+	}
+	cands, err := SelectOrder(series, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].P == 0 {
+		t.Errorf("best candidate (p=%d,q=%d) has no AR term for an AR(1) series",
+			cands[0].P, cands[0].Q)
+	}
+}
+
+func TestSelectOrderErrors(t *testing.T) {
+	if _, err := SelectOrder([]float64{1, 2, 3}, 0, 0, 0); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := SelectOrder([]float64{1, 2, 3}, 2, 1, 288); err == nil {
+		t.Error("short series accepted with seasonal differencing")
+	}
+}
+
+func TestAutoARIMA(t *testing.T) {
+	series := syntheticDiurnal(6*288, 21)
+	a, err := AutoARIMA(series[:5*288], 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := a.Forecast(series[:5*288], 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 288 {
+		t.Fatalf("forecast length = %d", len(pred))
+	}
+	for _, p := range pred {
+		if math.IsNaN(p) || p < 0 || p > 100 {
+			t.Fatalf("bad forecast value %v", p)
+		}
+	}
+}
+
+func TestForecastWithInterval(t *testing.T) {
+	series := syntheticDiurnal(6*288, 31)
+	a := &ARIMA{Cfg: DefaultConfig()}
+	fi, err := a.ForecastWithInterval(series, 48, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.ResidStdev <= 0 {
+		t.Error("residual stdev should be positive on a noisy series")
+	}
+	for i := range fi.Point {
+		if fi.Lower[i] > fi.Point[i] || fi.Upper[i] < fi.Point[i] {
+			t.Fatalf("interval does not bracket point at %d: [%v, %v] vs %v",
+				i, fi.Lower[i], fi.Upper[i], fi.Point[i])
+		}
+		if fi.Lower[i] < 0 || fi.Upper[i] > 100 {
+			t.Fatalf("interval escapes clamp range at %d", i)
+		}
+	}
+	// Wider z gives wider bands.
+	wide, err := a.ForecastWithInterval(series, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Upper[0]-wide.Lower[0] < fi.Upper[0]-fi.Lower[0] {
+		t.Error("z=3 band narrower than z=1.96")
+	}
+}

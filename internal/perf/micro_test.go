@@ -1,0 +1,108 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestMicroModelDeterministic(t *testing.T) {
+	m := NTCMicroModel()
+	spec := workload.Get(workload.MidMem)
+	a, err := m.Run(spec, units.GHz(2), 200_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(spec, units.GHz(2), 200_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMicroModelMPKIOrdering(t *testing.T) {
+	// The synthetic streams must reproduce the class ordering: more
+	// memory-intensive classes measure higher LLC MPKI.
+	m := NTCMicroModel()
+	var mpki [3]float64
+	for i, c := range workload.Classes() {
+		r, err := m.Run(workload.Get(c), units.GHz(2), 500_000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpki[i] = r.MPKI
+	}
+	if !(mpki[0] < mpki[1] && mpki[1] < mpki[2]) {
+		t.Errorf("MPKI ordering violated: %v", mpki)
+	}
+}
+
+func TestMicroModelMPKIApproximatesCalibration(t *testing.T) {
+	// The stream synthesis is tuned so measured MPKI lands within a
+	// factor ~2 of the calibrated MPKI — close enough to cross-check
+	// the analytical model's shape.
+	m := NTCMicroModel()
+	for _, c := range workload.Classes() {
+		spec := workload.Get(c)
+		r, err := m.Run(spec, units.GHz(2), 1_000_000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MPKI < spec.MPKI/2.5 || r.MPKI > spec.MPKI*2.5 {
+			t.Errorf("%v: micro MPKI %.2f vs calibrated %.2f (want within 2.5x)", c, r.MPKI, spec.MPKI)
+		}
+	}
+}
+
+func TestMicroModelTimeDecreasesWithFrequency(t *testing.T) {
+	m := NTCMicroModel()
+	spec := workload.Get(workload.LowMem)
+	slow, err := m.Run(spec, units.GHz(0.5), 200_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.Run(spec, units.GHz(2.5), 200_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Time >= slow.Time {
+		t.Errorf("time at 2.5 GHz (%.3g) not below 0.5 GHz (%.3g)", fast.Time, slow.Time)
+	}
+}
+
+func TestMicroModelWFMRisesWithMemoryIntensity(t *testing.T) {
+	m := NTCMicroModel()
+	low, err := m.Run(workload.Get(workload.LowMem), units.GHz(2), 300_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m.Run(workload.Get(workload.HighMem), units.GHz(2), 300_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.WFMFraction <= low.WFMFraction {
+		t.Errorf("high-mem WFM %.3f not above low-mem %.3f", high.WFMFraction, low.WFMFraction)
+	}
+}
+
+func TestMicroModelStatsConsistent(t *testing.T) {
+	m := NTCMicroModel()
+	r, err := m.Run(workload.Get(workload.MidMem), units.GHz(2), 400_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := r.L1Stats
+	llc := r.LLCStats
+	if l1.Hits+l1.Misses != l1.Accesses {
+		t.Errorf("L1 stats inconsistent: %+v", l1)
+	}
+	if llc.Accesses != l1.Misses {
+		t.Errorf("LLC accesses %d != L1 misses %d", llc.Accesses, l1.Misses)
+	}
+	if r.WFMFraction < 0 || r.WFMFraction > 1 {
+		t.Errorf("WFM fraction %v outside [0,1]", r.WFMFraction)
+	}
+}

@@ -1,0 +1,148 @@
+package power
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/units"
+)
+
+// Breakdown decomposes a server's power at one operating point into
+// the paper's four contributors (Section IV) plus the motherboard:
+// useful both for reports and for verifying that the component models
+// compose exactly into ServerModel.Power.
+type Breakdown struct {
+	Op OperatingPoint
+
+	// CoresBusy is the power of busy core regions (active + WFM
+	// states); CoresIdle is the clock-gated remainder.
+	CoresBusy, CoresIdle units.Power
+
+	// LLCLeak and LLCAccess split the last-level cache.
+	LLCLeak, LLCAccess units.Power
+
+	// Uncore is the memory controller / peripherals / IO block.
+	Uncore units.Power
+
+	// DRAMStandby and DRAMAccess split the memory banks.
+	DRAMStandby, DRAMAccess units.Power
+
+	// Motherboard is the static platform cost.
+	Motherboard units.Power
+}
+
+// Total sums all components; it equals ServerModel.Power(op).
+func (b *Breakdown) Total() units.Power {
+	return b.CoresBusy + b.CoresIdle + b.LLCLeak + b.LLCAccess +
+		b.Uncore + b.DRAMStandby + b.DRAMAccess + b.Motherboard
+}
+
+// StaticShare returns the fraction of total power that does not scale
+// with load at this operating point (idle cores, LLC leakage, uncore,
+// DRAM standby, motherboard) — the energy-proportionality headline
+// metric.
+func (b *Breakdown) StaticShare() float64 {
+	total := b.Total().W()
+	if total <= 0 {
+		return 0
+	}
+	static := b.CoresIdle + b.LLCLeak + b.Uncore + b.DRAMStandby + b.Motherboard
+	return static.W() / total
+}
+
+// Components returns name/power pairs in descending power order.
+func (b *Breakdown) Components() []struct {
+	Name  string
+	Power units.Power
+} {
+	out := []struct {
+		Name  string
+		Power units.Power
+	}{
+		{"cores (busy)", b.CoresBusy},
+		{"cores (idle)", b.CoresIdle},
+		{"LLC leakage", b.LLCLeak},
+		{"LLC access", b.LLCAccess},
+		{"uncore", b.Uncore},
+		{"DRAM standby", b.DRAMStandby},
+		{"DRAM access", b.DRAMAccess},
+		{"motherboard", b.Motherboard},
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Power > out[j].Power })
+	return out
+}
+
+// Render writes a human-readable component table.
+func (b *Breakdown) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	total := b.Total().W()
+	for _, c := range b.Components() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * c.Power.W() / total
+		}
+		fmt.Fprintf(tw, "%s\t%.2f W\t%.1f%%\n", c.Name, c.Power.W(), pct)
+	}
+	fmt.Fprintf(tw, "total\t%.2f W\t\n", total)
+	return tw.Flush()
+}
+
+// PowerBreakdown evaluates the component decomposition at op. It uses
+// exactly the same formulas as Power, so Breakdown.Total always equals
+// Power(op) (asserted by tests).
+func (s *ServerModel) PowerBreakdown(op OperatingPoint) *Breakdown {
+	f := op.Freq
+	if f < s.FMin {
+		f = s.FMin
+	}
+	if f > s.FMax {
+		f = s.FMax
+	}
+	busy := op.BusyCores
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > float64(s.Cores) {
+		busy = float64(s.Cores)
+	}
+	wfm := op.WFMFraction
+	if wfm < 0 {
+		wfm = 0
+	}
+	if wfm > 1 {
+		wfm = 1
+	}
+
+	active := float64(s.Core.ActivePower(f))
+	wfmP := float64(s.Core.WFMPower(f))
+	idle := float64(s.Core.IdlePower(f))
+
+	b := &Breakdown{Op: op}
+	b.CoresBusy = units.Power(busy * ((1-wfm)*active + wfm*wfmP))
+	b.CoresIdle = units.Power((float64(s.Cores) - busy) * idle)
+	b.LLCLeak = s.LLC.LeakagePower(f)
+	b.LLCAccess = s.LLC.AccessPower(f, op.LLCReadsPerSec, op.LLCWritesPerSec)
+	b.Uncore = s.Uncore.Power(f)
+	standby := s.DRAM.Power(0, 0)
+	full := s.DRAM.Power(op.MemReadBytesPerSec, op.MemWriteBytesPerSec)
+	if op.MemReadBytesPerSec > 0 || op.MemWriteBytesPerSec > 0 {
+		standby = units.Power(float64(s.DRAM.ActivePerGB) * s.DRAM.Capacity.GB())
+	}
+	b.DRAMStandby = standby
+	b.DRAMAccess = full - standby
+	b.Motherboard = s.Motherboard
+	return b
+}
+
+// EnergyProportionalityScore returns 1 - P_idle(F_opt)/P_cpubound(F_max):
+// 1 is perfectly proportional, 0 means idle costs as much as peak.
+func (s *ServerModel) EnergyProportionalityScore() float64 {
+	idle := s.IdlePower(s.FMin).W()
+	peak := s.CPUBoundPower(s.FMax).W()
+	if peak <= 0 {
+		return 0
+	}
+	return 1 - idle/peak
+}

@@ -1,0 +1,112 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestBreakdownTotalsEqualPower(t *testing.T) {
+	// The decomposition must compose exactly into ServerModel.Power
+	// for arbitrary operating points.
+	s := NTCServer()
+	prop := func(seed int64) bool {
+		r := float64(uint(seed)%1000) / 1000
+		op := OperatingPoint{
+			Freq:                units.GHz(0.1 + 3.0*r),
+			BusyCores:           16 * r,
+			WFMFraction:         r,
+			LLCReadsPerSec:      1e7 * r,
+			LLCWritesPerSec:     5e6 * r,
+			MemReadBytesPerSec:  1e9 * r,
+			MemWriteBytesPerSec: 4e8 * r,
+		}
+		b := s.PowerBreakdown(op)
+		return math.Abs(b.Total().W()-s.Power(op).W()) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownComponentsAtIdle(t *testing.T) {
+	s := NTCServer()
+	b := s.PowerBreakdown(OperatingPoint{Freq: units.GHz(0.1)})
+	if b.CoresBusy != 0 {
+		t.Errorf("idle server busy-core power = %v, want 0", b.CoresBusy)
+	}
+	if b.Motherboard.W() != 15 {
+		t.Errorf("motherboard = %v, want 15 W", b.Motherboard)
+	}
+	// At idle nearly everything is static.
+	if share := b.StaticShare(); share < 0.9 {
+		t.Errorf("idle static share = %.2f, want >= 0.9", share)
+	}
+}
+
+func TestBreakdownStaticShareDropsUnderLoad(t *testing.T) {
+	s := NTCServer()
+	idle := s.PowerBreakdown(OperatingPoint{Freq: units.GHz(1.9)})
+	loaded := s.PowerBreakdown(OperatingPoint{Freq: units.GHz(1.9), BusyCores: 16})
+	if loaded.StaticShare() >= idle.StaticShare() {
+		t.Errorf("static share should fall under load: %.2f -> %.2f",
+			idle.StaticShare(), loaded.StaticShare())
+	}
+}
+
+func TestBreakdownDRAMSplit(t *testing.T) {
+	s := NTCServer()
+	b := s.PowerBreakdown(OperatingPoint{
+		Freq: units.GHz(2), BusyCores: 16, MemReadBytesPerSec: 1e9,
+	})
+	// Standby at 155 mW/GB × 16 GB = 2.48 W; access 0.8 W at 1 GB/s.
+	if math.Abs(b.DRAMStandby.W()-2.48) > 1e-6 {
+		t.Errorf("DRAM standby = %v, want 2.48 W", b.DRAMStandby)
+	}
+	if math.Abs(b.DRAMAccess.W()-0.8) > 1e-6 {
+		t.Errorf("DRAM access = %v, want 0.8 W", b.DRAMAccess)
+	}
+}
+
+func TestBreakdownComponentsSorted(t *testing.T) {
+	s := NTCServer()
+	b := s.PowerBreakdown(OperatingPoint{Freq: units.GHz(3.1), BusyCores: 16})
+	comps := b.Components()
+	for i := 1; i < len(comps); i++ {
+		if comps[i].Power > comps[i-1].Power {
+			t.Fatal("components not sorted by power")
+		}
+	}
+	// Flat out at F_max the busy cores dominate.
+	if comps[0].Name != "cores (busy)" {
+		t.Errorf("dominant component = %s, want cores (busy)", comps[0].Name)
+	}
+}
+
+func TestBreakdownRender(t *testing.T) {
+	s := NTCServer()
+	var buf bytes.Buffer
+	if err := s.PowerBreakdown(OperatingPoint{Freq: units.GHz(1.9), BusyCores: 8}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestEnergyProportionalityScore(t *testing.T) {
+	ntc := NTCServer().EnergyProportionalityScore()
+	e5 := IntelE5_2620().EnergyProportionalityScore()
+	if ntc <= e5 {
+		t.Errorf("NTC proportionality %.2f should beat E5 %.2f", ntc, e5)
+	}
+	if ntc < 0.75 {
+		t.Errorf("NTC proportionality = %.2f, want >= 0.75 (drastically reduced static power)", ntc)
+	}
+	if e5 > 0.6 {
+		t.Errorf("E5 proportionality = %.2f, want <= 0.6 (traditional server)", e5)
+	}
+}

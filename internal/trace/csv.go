@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// WriteCSV encodes the trace as CSV with header
+//
+//	vm_id,class,sample,cpu_pct,mem_pct
+//
+// one row per (VM, sample) — the long format the Google cluster data
+// ships in.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vm_id", "class", "sample", "cpu_pct", "mem_pct"}); err != nil {
+		return err
+	}
+	for _, vm := range t.VMs {
+		for i := range vm.CPU {
+			rec := []string{
+				strconv.Itoa(vm.ID),
+				vm.Class.String(),
+				strconv.Itoa(i),
+				strconv.FormatFloat(vm.CPU[i], 'f', 3, 64),
+				strconv.FormatFloat(vm.Mem[i], 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// classFromString inverts workload.Class.String.
+func classFromString(s string) (workload.Class, error) {
+	for _, c := range workload.Classes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown class %q", s)
+}
+
+// ReadCSV decodes a trace written by WriteCSV. VMs appear in first-seen
+// order; samples must arrive in order per VM.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "vm_id" {
+		return nil, errors.New("trace: unexpected CSV header")
+	}
+	tr := &Trace{Interval: DefaultInterval}
+	byID := map[int]*VM{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading row: %w", err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad vm_id %q: %w", rec[0], err)
+		}
+		class, err := classFromString(rec[1])
+		if err != nil {
+			return nil, err
+		}
+		sample, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad sample %q: %w", rec[2], err)
+		}
+		cpu, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad cpu %q: %w", rec[3], err)
+		}
+		mem, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad mem %q: %w", rec[4], err)
+		}
+		vm, ok := byID[id]
+		if !ok {
+			vm = &VM{ID: id, Class: class}
+			byID[id] = vm
+			tr.VMs = append(tr.VMs, vm)
+		}
+		if sample != len(vm.CPU) {
+			return nil, fmt.Errorf("trace: VM %d sample %d out of order (have %d)", id, sample, len(vm.CPU))
+		}
+		vm.CPU = append(vm.CPU, cpu)
+		vm.Mem = append(vm.Mem, mem)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Duration returns the wall-clock span of the trace.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(t.Samples()) * t.Interval
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"repro/internal/mathx"
+)
+
+// DailyAutocorrelation returns the lag-one-day autocorrelation of the
+// aggregate CPU series — the periodicity signal that justifies the
+// paper's ARIMA forecasting ("given the daily periodicity observed in
+// the VMs of Google Cluster traces").
+func (t *Trace) DailyAutocorrelation() float64 {
+	agg := t.AggregateCPU()
+	if len(agg) <= SamplesPerDay {
+		return 0
+	}
+	a := agg[:len(agg)-SamplesPerDay]
+	b := agg[SamplesPerDay:]
+	r, err := mathx.Pearson(a, b)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// MeanIntraGroupCorrelation estimates the CPU-load correlation
+// structure: the mean pairwise Pearson correlation between VMs whose
+// IDs share a residue class modulo `groups` (how Generate assigns
+// groups), sampled over the first few members of each group.
+func (t *Trace) MeanIntraGroupCorrelation(groups int) float64 {
+	if groups <= 0 || len(t.VMs) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for g := 0; g < groups; g++ {
+		var members []*VM
+		for _, vm := range t.VMs {
+			if vm.ID%groups == g {
+				members = append(members, vm)
+			}
+			if len(members) >= 5 {
+				break
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				r, err := mathx.Pearson(members[i].CPU, members[j].CPU)
+				if err == nil {
+					sum += r
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanCrossGroupCorrelation estimates the correlation between VMs of
+// different groups (should be much lower than intra-group).
+func (t *Trace) MeanCrossGroupCorrelation(groups int) float64 {
+	if groups <= 1 || len(t.VMs) < 2*groups {
+		return 0
+	}
+	var sum float64
+	var n int
+	for g := 0; g+1 < groups; g += 2 {
+		a := t.vmOfGroup(g, groups)
+		b := t.vmOfGroup(g+1, groups)
+		if a == nil || b == nil {
+			continue
+		}
+		r, err := mathx.Pearson(a.CPU, b.CPU)
+		if err == nil {
+			sum += r
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (t *Trace) vmOfGroup(g, groups int) *VM {
+	for _, vm := range t.VMs {
+		if vm.ID%groups == g {
+			return vm
+		}
+	}
+	return nil
+}
+
+// ClassShares returns the fraction of VMs in each workload class, in
+// class order (low, mid, high).
+func (t *Trace) ClassShares() [3]float64 {
+	var counts [3]int
+	for _, vm := range t.VMs {
+		if int(vm.Class) >= 0 && int(vm.Class) < 3 {
+			counts[vm.Class]++
+		}
+	}
+	var out [3]float64
+	total := float64(len(t.VMs))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / total
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package ntcdc is the public facade of the NTC data-center library:
+// a from-scratch reproduction of "Energy Proportionality in
+// Near-Threshold Computing Servers and Cloud Data Centers:
+// Consolidating or Not?" (Pahlevan et al., DATE 2018).
+//
+// The library models 28nm UTBB FD-SOI near-threshold servers, the
+// workloads and QoS rules of the paper, ARIMA-driven day-ahead
+// forecasting, and the EPACT dynamic VM-allocation policy together
+// with the consolidation baselines it is evaluated against — plus
+// runners that regenerate every table and figure of the paper's
+// evaluation section.
+//
+// Quick start:
+//
+//	srv := ntcdc.NTCServerPower()
+//	fmt.Println(srv.OptimalFrequency()) // ≈1.9 GHz
+//
+//	week, err := ntcdc.RunWeek(ntcdc.DefaultWeekConfig())
+//	if err != nil { ... }
+//	week.Render(os.Stdout)
+//
+// The heavy lifting lives in the internal packages (power, perf,
+// alloc, dcsim, experiments); this package re-exports the surface a
+// downstream user needs.
+package ntcdc
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/experiments"
+	"repro/internal/fdsoi"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/qos"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Re-exported core types.
+type (
+	// Frequency is a clock frequency; construct with GHz or MHz.
+	Frequency = units.Frequency
+
+	// Power is electrical power in watts.
+	Power = units.Power
+
+	// Energy is in joules.
+	Energy = units.Energy
+
+	// ServerPowerModel is the component-level server power model of
+	// Section IV (cores, LLC, uncore, DRAM, motherboard).
+	ServerPowerModel = power.ServerModel
+
+	// OperatingPoint feeds ServerPowerModel.Power.
+	OperatingPoint = power.OperatingPoint
+
+	// DataCenterPool is a homogeneous pool for worst-case sweeps.
+	DataCenterPool = power.DataCenter
+
+	// Tech is a process-technology model (FD-SOI or bulk).
+	Tech = fdsoi.Tech
+
+	// Platform is a server architecture's performance identity.
+	Platform = platform.Platform
+
+	// WorkloadClass identifies low-mem / mid-mem / high-mem.
+	WorkloadClass = workload.Class
+
+	// Trace is a set of per-VM utilisation histories.
+	Trace = trace.Trace
+
+	// TraceConfig parameterises the synthetic Google-style generator.
+	TraceConfig = trace.Config
+
+	// Predictor forecasts utilisation series (ARIMA and baselines).
+	Predictor = forecast.Predictor
+
+	// AllocationPolicy maps predicted VM demands to servers.
+	AllocationPolicy = alloc.Policy
+
+	// WeekResult is the Figs. 4-6 comparison output.
+	WeekResult = experiments.DCWeekResult
+
+	// WeekConfig parameterises the data-center experiments.
+	WeekConfig = experiments.DCConfig
+)
+
+// Workload classes (Section III-B).
+const (
+	LowMem  = workload.LowMem
+	MidMem  = workload.MidMem
+	HighMem = workload.HighMem
+)
+
+// GHz builds a Frequency from gigahertz.
+func GHz(v float64) Frequency { return units.GHz(v) }
+
+// MHz builds a Frequency from megahertz.
+func MHz(v float64) Frequency { return units.MHz(v) }
+
+// NTCServerPower returns the paper's proposed NTC server power model:
+// 16 Cortex-A57 class cores in 28nm UTBB FD-SOI with the published
+// uncore/DRAM/motherboard constants. Its OptimalFrequency is ≈1.9 GHz.
+func NTCServerPower() *ServerPowerModel { return power.NTCServer() }
+
+// ConventionalServerPower returns the non-NTC comparison server
+// (Intel E5-2620 class): consolidation at F_max is optimal for it.
+func ConventionalServerPower() *ServerPowerModel { return power.IntelE5_2620() }
+
+// NTCPlatform returns the NTC server's performance model, calibrated
+// to the paper's Table I and Fig. 2.
+func NTCPlatform() *Platform { return platform.NTCServer() }
+
+// X86Platform returns the Intel Xeon X5650 QoS-baseline platform.
+func X86Platform() *Platform { return platform.IntelX5650() }
+
+// ThunderXPlatform returns the Cavium ThunderX platform.
+func ThunderXPlatform() *Platform { return platform.CaviumThunderX() }
+
+// FDSOI28 returns the 28nm UTBB FD-SOI technology model.
+func FDSOI28() *Tech { return fdsoi.FDSOI28() }
+
+// QoSLimit returns the execution-time limit (2x the x86 baseline) for
+// a workload class.
+func QoSLimit(c WorkloadClass) float64 { return qos.Limit(c) }
+
+// MinQoSFrequency returns the lowest frequency meeting QoS for class c
+// on platform p (Fig. 2 crossovers: 1.2 GHz low-mem, 1.8 GHz mid/high).
+func MinQoSFrequency(p *Platform, c WorkloadClass) (Frequency, error) {
+	return qos.MinFrequency(p, c)
+}
+
+// GenerateTrace synthesises a Google-cluster-style utilisation trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// DefaultTraceConfig mirrors the paper's trace shape: 600 VMs, one
+// week at 5-minute samples.
+func DefaultTraceConfig(seed int64) TraceConfig { return trace.DefaultConfig(seed) }
+
+// NewARIMA returns the paper's predictor: ARIMA with daily seasonal
+// differencing, fitted per VM by Hannan-Rissanen.
+func NewARIMA() Predictor { return &forecast.ARIMA{Cfg: forecast.DefaultConfig()} }
+
+// NewEPACT returns the paper's proposed allocation policy bound to a
+// server power model.
+func NewEPACT(m *ServerPowerModel) AllocationPolicy { return &alloc.EPACT{Model: m} }
+
+// NewCOAT returns the correlation-aware consolidation baseline.
+func NewCOAT(m *ServerPowerModel) AllocationPolicy {
+	return alloc.NewCOAT(specOf(m))
+}
+
+// NewCOATOPT returns COAT with the optimal fixed cap derived from the
+// server model.
+func NewCOATOPT(m *ServerPowerModel) AllocationPolicy {
+	return alloc.NewCOATOPT(specOf(m), m.OptimalFrequency())
+}
+
+// NewVerma returns the binary-quantised consolidation baseline of
+// Verma et al. (the paper's [16]).
+func NewVerma() AllocationPolicy { return alloc.NewVerma() }
+
+// NewFFD returns plain first-fit-decreasing consolidation.
+func NewFFD() AllocationPolicy { return &alloc.FFD{} }
+
+// NewLoadBalance returns the anti-consolidation extreme: spread VMs
+// over a fixed pool, least-loaded first.
+func NewLoadBalance(servers int) AllocationPolicy { return &alloc.LoadBalance{Servers: servers} }
+
+// WithBodyBias returns a body-biased view of an FD-SOI or bulk
+// technology (the UTBB FD-SOI extension knob).
+func WithBodyBias(t *Tech, bias float64) (*fdsoi.BiasedTech, error) {
+	return t.WithBodyBias(fdsoi.BodyBias(bias))
+}
+
+// PolicyZoo runs all implemented policies on one trace with the given
+// transition-cost model (an extension beyond the paper's three-way
+// comparison).
+func PolicyZoo(cfg WeekConfig, transitions dcsim.TransitionModel) ([]experiments.PolicyZooRow, error) {
+	return experiments.PolicyZoo(cfg, transitions)
+}
+
+// DefaultTransitions returns the realistic server power-state and
+// migration cost model; dcsim.ZeroTransitions() reproduces the paper.
+func DefaultTransitions() dcsim.TransitionModel { return dcsim.DefaultTransitions() }
+
+func specOf(m *ServerPowerModel) alloc.ServerSpec {
+	return alloc.ServerSpec{
+		Cores:         m.Cores,
+		MemContainers: m.DRAM.Capacity.GB(),
+		FMax:          m.FMax,
+		FMin:          m.FMin,
+	}
+}
+
+// DefaultWeekConfig returns the paper-scale data-center experiment
+// configuration (600 VMs, one evaluated week, ARIMA predictions).
+func DefaultWeekConfig() WeekConfig { return experiments.DefaultDCConfig() }
+
+// RunWeek runs the Figs. 4-6 comparison: EPACT vs COAT vs COAT-OPT on
+// one trace with shared predictions.
+func RunWeek(cfg WeekConfig) (*WeekResult, error) { return experiments.Fig4to6(cfg) }
+
+// Predict builds day-ahead forecasts for a trace (see dcsim.Predict).
+func Predict(tr *Trace, p Predictor, historyDays, evalDays int) (*dcsim.PredictionSet, error) {
+	return dcsim.Predict(tr, p, historyDays, evalDays)
+}

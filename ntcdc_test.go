@@ -1,0 +1,145 @@
+package ntcdc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeServerModels(t *testing.T) {
+	ntc := NTCServerPower()
+	if got := ntc.OptimalFrequency().GHz(); got < 1.8 || got > 2.0 {
+		t.Errorf("NTC optimum = %.1f GHz, want ≈1.9", got)
+	}
+	e5 := ConventionalServerPower()
+	if e5.OptimalFrequency() != e5.FMax {
+		t.Errorf("conventional optimum = %v, want FMax", e5.OptimalFrequency())
+	}
+}
+
+func TestFacadeFrequencyHelpers(t *testing.T) {
+	if GHz(1.9).MHz() != 1900 {
+		t.Error("GHz helper broken")
+	}
+	if MHz(2400).GHz() != 2.4 {
+		t.Error("MHz helper broken")
+	}
+}
+
+func TestFacadeQoS(t *testing.T) {
+	ntc := NTCPlatform()
+	f, err := MinQoSFrequency(ntc, LowMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.GHz()-1.2) > 0.05 {
+		t.Errorf("low-mem QoS floor = %v, want 1.2 GHz", f)
+	}
+	if lim := QoSLimit(HighMem); math.Abs(lim-6.909) > 0.07 {
+		t.Errorf("high-mem QoS limit = %.3f, want 6.909", lim)
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if ThunderXPlatform().Cores != 48 {
+		t.Error("ThunderX should have 48 cores")
+	}
+	if X86Platform().FNominal.GHz() != 2.66 {
+		t.Error("x86 nominal should be 2.66 GHz")
+	}
+	if !FDSOI28().InNearThresholdRegion(GHz(0.3)) {
+		t.Error("FD-SOI at 0.3 GHz should be near threshold")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// A miniature end-to-end run through the public API only.
+	cfg := DefaultTraceConfig(5)
+	cfg.VMs = 40
+	cfg.Days = 8
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Predict(tr, nil, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.CPU) != 40 {
+		t.Fatalf("predictions cover %d VMs, want 40", len(ps.CPU))
+	}
+
+	wc := DefaultWeekConfig()
+	wc.VMs = 40
+	wc.EvalDays = 1
+	wc.UseARIMA = false
+	week, err := RunWeek(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week.TotalEnergyMJ["EPACT"] <= 0 {
+		t.Error("EPACT consumed no energy")
+	}
+	if week.TotalEnergyMJ["COAT"] <= week.TotalEnergyMJ["EPACT"] {
+		t.Error("COAT should consume more than EPACT on NTC servers")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	m := NTCServerPower()
+	policies := []AllocationPolicy{
+		NewEPACT(m), NewCOAT(m), NewCOATOPT(m),
+		NewVerma(), NewFFD(), NewLoadBalance(8),
+	}
+	for _, p := range policies {
+		if p.Name() == "" {
+			t.Error("policy with empty name")
+		}
+	}
+	if NewARIMA().Name() == "" {
+		t.Error("predictor with empty name")
+	}
+}
+
+func TestFacadeBodyBias(t *testing.T) {
+	bt, err := WithBodyBias(FDSOI28(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.VthShift() >= 0 {
+		t.Error("FBB should lower the threshold")
+	}
+	if _, err := WithBodyBias(FDSOI28(), 3.0); err == nil {
+		t.Error("out-of-range bias accepted")
+	}
+}
+
+func TestFacadePolicyZoo(t *testing.T) {
+	cfg := DefaultWeekConfig()
+	cfg.VMs = 40
+	cfg.EvalDays = 1
+	cfg.UseARIMA = false
+	rows, err := PolicyZoo(cfg, DefaultTransitions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("zoo rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.EnergyMJ <= 0 {
+			t.Errorf("%s: no energy recorded", r.Policy)
+		}
+	}
+}
+
+func TestFacadePowerBreakdown(t *testing.T) {
+	m := NTCServerPower()
+	op := OperatingPoint{Freq: GHz(1.9), BusyCores: 8}
+	b := m.PowerBreakdown(op)
+	if diff := b.Total().W() - m.Power(op).W(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("breakdown total %.3f != power %.3f", b.Total().W(), m.Power(op).W())
+	}
+	if m.EnergyProportionalityScore() <= ConventionalServerPower().EnergyProportionalityScore() {
+		t.Error("NTC proportionality should beat conventional")
+	}
+}
