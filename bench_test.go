@@ -9,10 +9,13 @@ package ntcdc
 // cmd/ntc-repro runs the full paper scale.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/dcsim"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -151,6 +154,82 @@ func BenchmarkCOATAllocate(b *testing.B) {
 		if _, err := pol.Allocate(demands, spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDCSimRun measures one bare simulator run (the unit of work
+// every sweep scenario pays after the shared inputs are loaded).
+func BenchmarkDCSimRun(b *testing.B) {
+	tr, err := trace.Generate(sweep.DCTraceConfig(2018, 150, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := dcsim.Predict(tr, nil, 7, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := NTCServerPower()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dcsim.Run(dcsim.Config{
+			Trace:       tr,
+			Predictions: ps,
+			HistoryDays: 7,
+			EvalDays:    1,
+			Policy:      &alloc.EPACT{Model: model},
+			Server:      model,
+			Platform:    NTCPlatform(),
+			MaxServers:  600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Slots) != 24 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+// benchSweepGrid is a 24-scenario grid (6 policies × 2 transition
+// models × 2 pool bounds) over one shared 100-VM trace.
+func benchSweepGrid() sweep.Grid {
+	return sweep.Grid{
+		Policies:    sweep.PolicyNames(),
+		VMs:         []int{100},
+		MaxServers:  []int{100, 50},
+		EvalDays:    1,
+		Seeds:       []int64{2018},
+		Predictors:  []string{"oracle"},
+		Transitions: []sweep.TransitionSpec{{Name: "none"}, {Name: "default"}},
+	}
+}
+
+// BenchmarkSweepGrid measures the sweep engine serial vs parallel on
+// the same grid; on multicore hardware the parallel variant should
+// approach a worker-count speedup (scenarios are independent), and
+// both produce byte-identical results.
+func BenchmarkSweepGrid(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 8},
+	} {
+		b.Run(fmt.Sprintf("%s-workers=%d", bc.name, bc.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Run(benchSweepGrid(), sweep.Options{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Failed(); err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Runs) != 24 {
+					b.Fatal("bad sweep")
+				}
+			}
+		})
 	}
 }
 

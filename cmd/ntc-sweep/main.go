@@ -1,0 +1,194 @@
+// Command ntc-sweep runs a scenario grid through the concurrent
+// sweep engine and emits a machine-readable results table plus a
+// summary.
+//
+// The grid comes either from flags (comma-separated axis values) or
+// from a JSON file via -grid; flags and file are mutually exclusive.
+//
+//	ntc-sweep -policies EPACT,COAT -vms 150 -days 2 -workers 8
+//	ntc-sweep -grid grid.json -csv results.csv -json results.json
+//
+// The CSV/JSON output is byte-identical for any -workers value: the
+// engine seeds every scenario deterministically and orders results by
+// grid expansion, so parallelism changes wall-clock time only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ntc-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parses args, runs the sweep, and
+// writes outputs. CSV goes to -csv (or stdout), the summary to stderr
+// so piped CSV output stays clean.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ntc-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gridFile    = fs.String("grid", "", "JSON grid file (overrides the axis flags)")
+		policies    = fs.String("policies", "EPACT,COAT,COAT-OPT", "comma-separated policies ("+strings.Join(sweep.PolicyNames(), ", ")+")")
+		vms         = fs.String("vms", "600", "comma-separated VM counts")
+		maxServers  = fs.String("max-servers", "600", "comma-separated physical pool bounds (0 = unbounded)")
+		days        = fs.Int("days", 7, "evaluated days")
+		history     = fs.Int("history", 7, "history days fed to the predictor")
+		seeds       = fs.String("seeds", "2018", "comma-separated trace seeds")
+		static      = fs.String("static", "0", "comma-separated static-power overrides in W (0 = default 15 W)")
+		predictors  = fs.String("predictors", "arima", "comma-separated predictors ("+strings.Join(sweep.PredictorNames(), ", ")+")")
+		transitions = fs.String("transitions", "none", "comma-separated transition models ("+strings.Join(sweep.TransitionNames(), ", ")+")")
+		churn       = fs.String("churn", "0", "comma-separated churn fractions in [0,1]")
+		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		csvPath     = fs.String("csv", "", "write the CSV table here instead of stdout")
+		jsonPath    = fs.String("json", "", "also write full results as JSON here")
+		quiet       = fs.Bool("quiet", false, "suppress the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g sweep.Grid
+	if *gridFile != "" {
+		data, err := os.ReadFile(*gridFile)
+		if err != nil {
+			return err
+		}
+		if g, err = sweep.ParseGridJSON(data); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if g, err = gridFromFlags(*policies, *vms, *maxServers, *seeds, *static,
+			*predictors, *transitions, *churn, *days, *history); err != nil {
+			return err
+		}
+	}
+
+	scens, err := sweep.Expand(g)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "running %d scenarios...\n", len(scens))
+	}
+
+	res, err := sweep.Run(g, sweep.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	csv := res.CSV()
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := io.WriteString(stdout, csv); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		if err := res.Summary(stderr); err != nil {
+			return err
+		}
+	}
+	// Scenario failures are recorded in the table; surface them on
+	// the exit code too.
+	return res.Failed()
+}
+
+// gridFromFlags assembles a grid from the comma-separated axis flags.
+func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn string, days, history int) (sweep.Grid, error) {
+	g := sweep.Grid{
+		Policies:    splitList(policies),
+		Predictors:  splitList(predictors),
+		EvalDays:    days,
+		HistoryDays: history,
+	}
+	for _, name := range splitList(transitions) {
+		g.Transitions = append(g.Transitions, sweep.TransitionSpec{Name: name})
+	}
+	var err error
+	if g.VMs, err = parseInts("vms", vms); err != nil {
+		return g, err
+	}
+	if g.MaxServers, err = parseInts("max-servers", maxServers); err != nil {
+		return g, err
+	}
+	if g.Seeds, err = parseInt64s("seeds", seeds); err != nil {
+		return g, err
+	}
+	if g.StaticPowerW, err = parseFloats("static", static); err != nil {
+		return g, err
+	}
+	if g.ChurnFractions, err = parseFloats("churn", churn); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(flag, s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", flag, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(flag, s string) ([]int64, error) {
+	var out []int64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", flag, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(flag, s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", flag, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepArgs is the acceptance grid: 6 policies × 2 transition models
+// × 2 pool sizes = 24 scenarios at a test-friendly scale.
+func sweepArgs(extra ...string) []string {
+	args := []string{
+		"-policies", "EPACT,COAT,COAT-OPT,FFD,Verma-binary,load-balance",
+		"-vms", "40",
+		"-max-servers", "40,20",
+		"-transitions", "none,default",
+		"-predictors", "oracle",
+		"-days", "1",
+	}
+	return append(args, extra...)
+}
+
+// TestWorkerCountDoesNotChangeOutput is the CLI-level determinism
+// acceptance check: the same 24-scenario grid through -workers=1 and
+// -workers=8 must produce byte-identical CSV.
+func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
+	var outputs []string
+	for _, workers := range []string{"1", "8"} {
+		var stdout, stderr bytes.Buffer
+		if err := run(sweepArgs("-workers", workers, "-quiet"), &stdout, &stderr); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, stderr.String())
+		}
+		if n := strings.Count(stdout.String(), "\n"); n != 25 {
+			t.Fatalf("workers=%s: %d CSV lines, want 25 (header + 24 scenarios)", workers, n)
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("-workers=1 and -workers=8 disagree:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestGridFileAndOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	csvPath := filepath.Join(dir, "out.csv")
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(gridPath, []byte(`{
+		"policies": ["EPACT", "COAT"],
+		"vms": [40],
+		"max_servers": [40],
+		"eval_days": 1,
+		"seeds": [2018],
+		"predictors": ["oracle"]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-grid", gridPath, "-csv", csvPath, "-json", jsonPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(csv, []byte("\n")); n != 3 {
+		t.Errorf("CSV has %d lines, want 3 (header + 2 scenarios):\n%s", n, csv)
+	}
+	if !bytes.HasPrefix(csv, []byte("policy,predictor,")) {
+		t.Errorf("CSV missing header:\n%s", csv)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_energy_mj"`, `"EPACT"`, `"trace_builds": 1`} {
+		if !bytes.Contains(js, []byte(want)) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 scenarios") {
+		t.Errorf("summary missing scenario count:\n%s", stderr.String())
+	}
+}
+
+func TestBadFlagsSurfaceErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policies", "nope"}, &stdout, &stderr); err == nil {
+		t.Error("unknown policy did not fail")
+	}
+	if err := run([]string{"-vms", "forty"}, &stdout, &stderr); err == nil {
+		t.Error("non-numeric -vms did not fail")
+	}
+	if err := run([]string{"-grid", "/does/not/exist.json"}, &stdout, &stderr); err == nil {
+		t.Error("missing grid file did not fail")
+	}
+}

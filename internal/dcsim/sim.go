@@ -111,6 +111,19 @@ func (r *Result) ViolationsPerSlot() []int {
 	return out
 }
 
+// MeanPlannedFreqGHz returns the allocator's mean cap frequency over
+// the horizon (the Fig. 7 frequency column), 0 with no slots.
+func (r *Result) MeanPlannedFreqGHz() float64 {
+	if len(r.Slots) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Slots {
+		sum += s.PlannedFreq.GHz()
+	}
+	return sum / float64(len(r.Slots))
+}
+
 // ActiveServersPerSlot returns the Fig. 5 series.
 func (r *Result) ActiveServersPerSlot() []int {
 	out := make([]int, len(r.Slots))

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"repro/internal/dcsim"
-	"repro/internal/forecast"
 	"repro/internal/perf"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -66,33 +66,25 @@ type AblationForecastRow struct {
 
 // AblationForecast compares ARIMA against seasonal-naive, last-value
 // and the oracle on the same trace (DESIGN.md decision #3): violation
-// counts isolate how much forecast quality matters per policy.
+// counts isolate how much forecast quality matters per policy. The
+// sweep engine shares the trace across all four predictor variants.
 func AblationForecast(cfg DCConfig) ([]AblationForecastRow, error) {
-	tr, err := trace.Generate(traceConfig(cfg))
+	g := weekGrid(cfg, []string{"EPACT", "COAT"})
+	g.Predictors = sweep.PredictorNames()
+	runs, err := runGrid(g)
 	if err != nil {
 		return nil, err
 	}
-	predictors := []forecast.Predictor{
-		nil, // oracle
-		&forecast.ARIMA{Cfg: forecast.DefaultConfig()},
-		&forecast.SeasonalNaive{Period: trace.SamplesPerDay},
-		forecast.LastValue{},
-	}
+	// Policies are innermost in expansion order: (EPACT, COAT) pairs
+	// per predictor.
 	var rows []AblationForecastRow
-	for _, pred := range predictors {
-		ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
-		if err != nil {
-			return nil, err
-		}
-		week, err := fig4to6With(cfg, tr, ps)
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i+1 < len(runs); i += 2 {
+		epact, coat := &runs[i], &runs[i+1]
 		rows = append(rows, AblationForecastRow{
-			Predictor:     ps.Predictor,
-			EPACTViol:     week.TotalViol["EPACT"],
-			COATViol:      week.TotalViol["COAT"],
-			EPACTEnergyMJ: week.TotalEnergyMJ["EPACT"],
+			Predictor:     epact.PredictorImpl,
+			EPACTViol:     epact.Violations,
+			COATViol:      coat.Violations,
+			EPACTEnergyMJ: epact.TotalEnergyMJ,
 		})
 	}
 	return rows, nil

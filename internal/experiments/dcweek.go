@@ -5,11 +5,10 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/dcsim"
-	"repro/internal/forecast"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/trace"
-	"repro/internal/units"
 )
 
 // DCConfig parameterises the data-center experiments (Figs. 4-7).
@@ -48,29 +47,49 @@ func DefaultDCConfig() DCConfig {
 	}
 }
 
-// traceConfig builds the generator parameters for the DC experiments.
+// traceConfig builds the generator parameters for the DC experiments
+// (the canonical shape lives in the sweep engine so the grid runs and
+// the hand-built ablations stay on identical traces).
 func traceConfig(cfg DCConfig) trace.Config {
-	tc := trace.DefaultConfig(cfg.Seed)
-	tc.VMs = cfg.VMs
-	tc.Days = 7 + cfg.EvalDays // one week of history plus the horizon
-	// Raised load levels and a deep day/night swing put the aggregate
-	// demand — and hence the active-server counts — in the range of
-	// the paper's Fig. 5 (roughly a 2-3x swing between valley and
-	// peak).
-	tc.BaseMin = 35
-	tc.BaseMax = 85
-	tc.DiurnalAmplitude = 28
-	return tc
+	return sweep.DCTraceConfig(cfg.Seed, cfg.VMs, 7+cfg.EvalDays)
 }
 
 // serverModel builds the NTC server with an optional static-power
 // override.
 func serverModel(staticW float64) *power.ServerModel {
-	m := power.NTCServer()
-	if staticW > 0 {
-		m.Motherboard = units.Watts(staticW)
+	return sweep.ServerModel(staticW)
+}
+
+// weekGrid translates a DCConfig into a single-point sweep grid over
+// the given policies; the figure adapters specialise one axis each.
+func weekGrid(cfg DCConfig, policies []string) sweep.Grid {
+	pred := "oracle"
+	if cfg.UseARIMA {
+		pred = "arima"
 	}
-	return m
+	return sweep.Grid{
+		Policies:     policies,
+		VMs:          []int{cfg.VMs},
+		MaxServers:   []int{cfg.MaxServers},
+		HistoryDays:  7,
+		EvalDays:     cfg.EvalDays,
+		Seeds:        []int64{cfg.Seed},
+		StaticPowerW: []float64{cfg.StaticPowerW},
+		Predictors:   []string{pred},
+	}
+}
+
+// runGrid executes a grid and returns its runs, surfacing the first
+// scenario failure as an error.
+func runGrid(g sweep.Grid) ([]sweep.RunResult, error) {
+	res, err := sweep.Run(g, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Failed(); err != nil {
+		return nil, err
+	}
+	return res.Runs, nil
 }
 
 // DCWeekResult carries the week-long comparison behind Figs. 4-6.
@@ -117,25 +136,24 @@ type DCSummary struct {
 // Fig4to6 runs the week-long data-center comparison producing the
 // violation (Fig. 4), active-server (Fig. 5) and energy (Fig. 6)
 // series for EPACT, COAT and COAT-OPT on the same trace and the same
-// predictions.
+// predictions. It is a thin adapter over the sweep engine: the trace
+// and prediction set are built once by the engine's loader and shared
+// across the three policy runs.
 func Fig4to6(cfg DCConfig) (*DCWeekResult, error) {
-	tr, err := trace.Generate(traceConfig(cfg))
+	runs, err := runGrid(weekGrid(cfg, []string{"EPACT", "COAT", "COAT-OPT"}))
 	if err != nil {
 		return nil, err
 	}
-	var pred forecast.Predictor
-	if cfg.UseARIMA {
-		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
+	sims := make([]*dcsim.Result, len(runs))
+	for i := range runs {
+		sims[i] = runs[i].Run
 	}
-	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
-	if err != nil {
-		return nil, err
-	}
-	return fig4to6With(cfg, tr, ps)
+	return weekFromResults(sims), nil
 }
 
 // fig4to6With runs the comparison with a pre-built trace and
-// prediction set (shared by Fig. 7 and the benchmarks).
+// prediction set — the escape hatch for ablations whose trace shapes
+// a grid cannot express (e.g. the correlation sweep).
 func fig4to6With(cfg DCConfig, tr *trace.Trace, ps *dcsim.PredictionSet) (*DCWeekResult, error) {
 	model := serverModel(cfg.StaticPowerW)
 	spec := alloc.ServerSpec{
@@ -150,15 +168,7 @@ func fig4to6With(cfg DCConfig, tr *trace.Trace, ps *dcsim.PredictionSet) (*DCWee
 		alloc.NewCOATOPT(spec, model.OptimalFrequency()),
 	}
 
-	res := &DCWeekResult{
-		Violations:     map[string][]int{},
-		Active:         map[string][]int{},
-		EnergyMJ:       map[string][]float64{},
-		TotalEnergyMJ:  map[string]float64{},
-		TotalViol:      map[string]int{},
-		MeanActive:     map[string]float64{},
-		PlannedFreqGHz: map[string]float64{},
-	}
+	var sims []*dcsim.Result
 	for _, pol := range policies {
 		run, err := dcsim.Run(dcsim.Config{
 			Trace:       tr,
@@ -173,7 +183,25 @@ func fig4to6With(cfg DCConfig, tr *trace.Trace, ps *dcsim.PredictionSet) (*DCWee
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
 		}
-		name := pol.Name()
+		sims = append(sims, run)
+	}
+	return weekFromResults(sims), nil
+}
+
+// weekFromResults folds per-policy simulation runs into the week
+// comparison (series, aggregates, headline summary).
+func weekFromResults(sims []*dcsim.Result) *DCWeekResult {
+	res := &DCWeekResult{
+		Violations:     map[string][]int{},
+		Active:         map[string][]int{},
+		EnergyMJ:       map[string][]float64{},
+		TotalEnergyMJ:  map[string]float64{},
+		TotalViol:      map[string]int{},
+		MeanActive:     map[string]float64{},
+		PlannedFreqGHz: map[string]float64{},
+	}
+	for _, run := range sims {
+		name := run.Policy
 		res.Policies = append(res.Policies, name)
 		res.Violations[name] = run.ViolationsPerSlot()
 		res.Active[name] = run.ActiveServersPerSlot()
@@ -181,16 +209,19 @@ func fig4to6With(cfg DCConfig, tr *trace.Trace, ps *dcsim.PredictionSet) (*DCWee
 		res.TotalEnergyMJ[name] = run.TotalEnergy.MJ()
 		res.TotalViol[name] = run.TotalViol
 		res.MeanActive[name] = run.MeanActive
-		var fSum float64
-		for _, s := range run.Slots {
-			fSum += s.PlannedFreq.GHz()
-		}
-		if len(run.Slots) > 0 {
-			res.PlannedFreqGHz[name] = fSum / float64(len(run.Slots))
-		}
+		res.PlannedFreqGHz[name] = run.MeanPlannedFreqGHz()
 	}
 	res.Summary = summarise(res)
-	return res, nil
+	return res
+}
+
+// savingPct is EPACT's energy saving over a baseline in percent (the
+// paper's headline metric), 0 when the baseline is unreported.
+func savingPct(epactMJ, baselineMJ float64) float64 {
+	if baselineMJ <= 0 {
+		return 0
+	}
+	return 100 * (1 - epactMJ/baselineMJ)
 }
 
 // summarise computes the headline comparisons.
@@ -201,12 +232,8 @@ func summarise(r *DCWeekResult) DCSummary {
 	if me := r.MeanActive[epact]; me > 0 {
 		s.COATServerReductionPct = 100 * (1 - r.MeanActive[coat]/me)
 	}
-	if te := r.TotalEnergyMJ[coat]; te > 0 {
-		s.WeeklySavingVsCOATPct = 100 * (1 - r.TotalEnergyMJ[epact]/te)
-	}
-	if to := r.TotalEnergyMJ[coatOpt]; to > 0 {
-		s.WeeklySavingVsCOATOPTPct = 100 * (1 - r.TotalEnergyMJ[epact]/to)
-	}
+	s.WeeklySavingVsCOATPct = savingPct(r.TotalEnergyMJ[epact], r.TotalEnergyMJ[coat])
+	s.WeeklySavingVsCOATOPTPct = savingPct(r.TotalEnergyMJ[epact], r.TotalEnergyMJ[coatOpt])
 	best := 0.0
 	ce := r.EnergyMJ[coat]
 	ee := r.EnergyMJ[epact]

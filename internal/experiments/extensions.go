@@ -1,19 +1,15 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/alloc"
 	"repro/internal/dcsim"
-	"repro/internal/forecast"
-	"repro/internal/platform"
-	"repro/internal/trace"
+	"repro/internal/sweep"
 )
 
 // Extension experiments beyond the paper's evaluation: the full policy
 // zoo (including the Verma binary baseline and load balancing the
 // paper only mentions), churn sensitivity, and transition-cost
-// accounting.
+// accounting. All of them are thin adapters over the sweep engine,
+// which shares the trace and prediction set across the runs.
 
 // PolicyZooRow is one policy's week under identical conditions.
 type PolicyZooRow struct {
@@ -29,61 +25,39 @@ type PolicyZooRow struct {
 // FFD, Verma-binary and load-balance — on the same trace, predictions
 // and transition model, extending the paper's three-way comparison.
 func PolicyZoo(cfg DCConfig, transitions dcsim.TransitionModel) ([]PolicyZooRow, error) {
-	tr, err := trace.Generate(traceConfig(cfg))
+	g := weekGrid(cfg, sweep.PolicyNames())
+	g.Transitions = []sweep.TransitionSpec{transitionSpec(transitions)}
+	runs, err := runGrid(g)
 	if err != nil {
 		return nil, err
 	}
-	var pred forecast.Predictor
-	if cfg.UseARIMA {
-		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
-	}
-	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
-	if err != nil {
-		return nil, err
-	}
-
-	model := serverModel(cfg.StaticPowerW)
-	spec := alloc.ServerSpec{
-		Cores:         model.Cores,
-		MemContainers: model.DRAM.Capacity.GB(),
-		FMax:          model.FMax,
-		FMin:          model.FMin,
-	}
-	policies := []alloc.Policy{
-		&alloc.EPACT{Model: model},
-		alloc.NewCOAT(spec),
-		alloc.NewCOATOPT(spec, model.OptimalFrequency()),
-		&alloc.FFD{},
-		alloc.NewVerma(),
-		&alloc.LoadBalance{},
-	}
-
-	var rows []PolicyZooRow
-	for _, pol := range policies {
-		run, err := dcsim.Run(dcsim.Config{
-			Trace:       tr,
-			Predictions: ps,
-			HistoryDays: 7,
-			EvalDays:    cfg.EvalDays,
-			Policy:      pol,
-			Server:      model,
-			Platform:    platform.NTCServer(),
-			MaxServers:  cfg.MaxServers,
-			Transitions: transitions,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
-		}
+	rows := make([]PolicyZooRow, 0, len(runs))
+	for i := range runs {
+		r := &runs[i]
 		rows = append(rows, PolicyZooRow{
-			Policy:       run.Policy,
-			EnergyMJ:     run.TotalEnergy.MJ(),
-			Violations:   run.TotalViol,
-			MeanActive:   run.MeanActive,
-			Migrations:   run.TotalMigrations,
-			TransitionMJ: run.TotalTransitionEnergy.MJ(),
+			Policy:       r.Run.Policy,
+			EnergyMJ:     r.TotalEnergyMJ,
+			Violations:   r.Violations,
+			MeanActive:   r.MeanActive,
+			Migrations:   r.Migrations,
+			TransitionMJ: r.TransitionMJ,
 		})
 	}
 	return rows, nil
+}
+
+// transitionSpec maps a concrete transition model onto the sweep
+// engine's named specs, preserving the registry names where possible
+// so scenario IDs stay readable.
+func transitionSpec(m dcsim.TransitionModel) sweep.TransitionSpec {
+	switch m {
+	case dcsim.ZeroTransitions():
+		return sweep.TransitionSpec{Name: "none"}
+	case dcsim.DefaultTransitions():
+		return sweep.TransitionSpec{Name: "default"}
+	default:
+		return sweep.TransitionSpec{Name: "custom", Model: &m}
+	}
 }
 
 // ChurnRow reports one churn level's effect on the EPACT-vs-COAT gap.
@@ -100,38 +74,27 @@ type ChurnRow struct {
 
 // ChurnSensitivity re-runs the EPACT-vs-COAT comparison under
 // increasing VM churn (the Google traces' population dynamics the
-// base experiment idealises away).
+// base experiment idealises away). Predictions use the oracle so the
+// comparison isolates allocation behaviour under churn.
 func ChurnSensitivity(cfg DCConfig) ([]ChurnRow, error) {
+	g := weekGrid(cfg, []string{"EPACT", "COAT"})
+	g.Predictors = []string{"oracle"}
+	g.ChurnFractions = []float64{0, 0.25, 0.5}
+	runs, err := runGrid(g)
+	if err != nil {
+		return nil, err
+	}
+	// Expansion order keeps policies innermost: (EPACT, COAT) pairs
+	// per churn level.
 	var rows []ChurnRow
-	for _, frac := range []float64{0, 0.25, 0.5} {
-		tr, err := trace.Generate(traceConfig(cfg))
-		if err != nil {
-			return nil, err
-		}
-		affected := 0
-		if frac > 0 {
-			cc := trace.DefaultChurnConfig(cfg.Seed + 99)
-			cc.ArrivalFraction = frac
-			cc.DepartureFraction = frac
-			affected, err = tr.ApplyChurn(cc)
-			if err != nil {
-				return nil, err
-			}
-		}
-		ps, err := dcsim.Predict(tr, nil, 7, cfg.EvalDays)
-		if err != nil {
-			return nil, err
-		}
-		week, err := fig4to6With(cfg, tr, ps)
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i+1 < len(runs); i += 2 {
+		epact, coat := &runs[i], &runs[i+1]
 		rows = append(rows, ChurnRow{
-			ChurnFraction: frac,
-			AffectedVMs:   affected,
-			EPACTEnergyMJ: week.TotalEnergyMJ["EPACT"],
-			COATEnergyMJ:  week.TotalEnergyMJ["COAT"],
-			SavingPct:     week.Summary.WeeklySavingVsCOATPct,
+			ChurnFraction: epact.Scenario.ChurnFraction,
+			AffectedVMs:   epact.ChurnAffectedVMs,
+			EPACTEnergyMJ: epact.TotalEnergyMJ,
+			COATEnergyMJ:  coat.TotalEnergyMJ,
+			SavingPct:     savingPct(epact.TotalEnergyMJ, coat.TotalEnergyMJ),
 		})
 	}
 	return rows, nil

@@ -1,11 +1,5 @@
 package experiments
 
-import (
-	"repro/internal/dcsim"
-	"repro/internal/forecast"
-	"repro/internal/trace"
-)
-
 // Fig7Row is one static-power point of Fig. 7.
 type Fig7Row struct {
 	StaticW float64
@@ -32,38 +26,28 @@ type Fig7Result struct {
 	Rows []Fig7Row
 }
 
-// Fig7 sweeps the static power over the paper's 5-45 W range. The
-// trace and predictions are generated once and shared across the
-// sweep so rows differ only in the server model.
+// Fig7 sweeps the static power over the paper's 5-45 W range as one
+// grid; the engine's loader generates the trace and predictions once
+// and shares them, so rows differ only in the server model.
 func Fig7(cfg DCConfig) (*Fig7Result, error) {
-	tr, err := trace.Generate(traceConfig(cfg))
+	g := weekGrid(cfg, []string{"EPACT", "COAT"})
+	g.StaticPowerW = []float64{5, 15, 25, 35, 45}
+	runs, err := runGrid(g)
 	if err != nil {
 		return nil, err
 	}
-	var pred forecast.Predictor
-	if cfg.UseARIMA {
-		pred = &forecast.ARIMA{Cfg: forecast.DefaultConfig()}
-	}
-	ps, err := dcsim.Predict(tr, pred, 7, cfg.EvalDays)
-	if err != nil {
-		return nil, err
-	}
-
+	// Static power is an outer axis, policies innermost: (EPACT,
+	// COAT) pairs per static-power point.
 	res := &Fig7Result{}
-	for _, static := range []float64{5, 15, 25, 35, 45} {
-		c := cfg
-		c.StaticPowerW = static
-		week, err := fig4to6With(c, tr, ps)
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i+1 < len(runs); i += 2 {
+		epact, coat := &runs[i], &runs[i+1]
 		res.Rows = append(res.Rows, Fig7Row{
-			StaticW:             static,
-			EPACTEnergyMJ:       week.TotalEnergyMJ["EPACT"],
-			COATEnergyMJ:        week.TotalEnergyMJ["COAT"],
-			SavingPct:           week.Summary.WeeklySavingVsCOATPct,
-			EPACTPlannedFreqGHz: week.PlannedFreqGHz["EPACT"],
-			EPACTMeanActive:     week.MeanActive["EPACT"],
+			StaticW:             epact.Scenario.StaticPowerW,
+			EPACTEnergyMJ:       epact.TotalEnergyMJ,
+			COATEnergyMJ:        coat.TotalEnergyMJ,
+			SavingPct:           savingPct(epact.TotalEnergyMJ, coat.TotalEnergyMJ),
+			EPACTPlannedFreqGHz: epact.MeanPlannedFreqGHz,
+			EPACTMeanActive:     epact.MeanActive,
 		})
 	}
 	return res, nil

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dcsim"
+	"repro/internal/platform"
+)
+
+// Options tunes one sweep execution. The zero value runs on
+// GOMAXPROCS workers with no progress reporting.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 uses GOMAXPROCS. The
+	// worker count affects wall-clock time only, never results.
+	Workers int
+
+	// Progress, when set, is called after each completed scenario
+	// (serialised; completion order is nondeterministic but done/total
+	// are monotonic).
+	Progress func(done, total int, r *RunResult)
+}
+
+// RunResult is one scenario's outcome. Run holds the full per-slot
+// simulation output for adapters that need series; the flat fields
+// are the machine-readable aggregates.
+type RunResult struct {
+	Scenario Scenario `json:"scenario"`
+
+	// PredictorImpl is the resolved predictor's self-reported name
+	// (e.g. "ARIMA(2,0,1)s288" for the "arima" axis value).
+	PredictorImpl string `json:"predictor_impl,omitempty"`
+
+	// ChurnAffectedVMs is how many VMs the churn pass touched.
+	ChurnAffectedVMs int `json:"churn_affected_vms"`
+
+	TotalEnergyMJ      float64 `json:"total_energy_mj"`
+	TransitionMJ       float64 `json:"transition_mj"`
+	Violations         int     `json:"violations"`
+	MeanActive         float64 `json:"mean_active"`
+	PeakActive         int     `json:"peak_active"`
+	Migrations         int     `json:"migrations"`
+	MeanPlannedFreqGHz float64 `json:"mean_planned_freq_ghz"`
+	Slots              int     `json:"slots"`
+
+	// Err is the scenario's failure, if any; other fields are zero.
+	Err string `json:"error,omitempty"`
+
+	// Run is the full simulation result (nil on error). It is not
+	// serialised; use the CSV/JSON aggregates for persistence.
+	Run *dcsim.Result `json:"-"`
+}
+
+// Results is a completed sweep.
+type Results struct {
+	// Grid is the (defaulted) grid that was run.
+	Grid Grid `json:"grid"`
+
+	// Runs are in expansion order — the deterministic output contract.
+	Runs []RunResult `json:"runs"`
+
+	// Load reports input sharing across the sweep.
+	Load LoadStats `json:"load"`
+
+	// Workers and Elapsed describe the execution, not the results
+	// (both are excluded from CSV/JSON so outputs stay byte-identical
+	// across worker counts).
+	Workers int           `json:"-"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Failed returns the first scenario error, or nil.
+func (r *Results) Failed() error {
+	for i := range r.Runs {
+		if r.Runs[i].Err != "" {
+			return fmt.Errorf("sweep: scenario %s: %s", r.Runs[i].Scenario.ID(), r.Runs[i].Err)
+		}
+	}
+	return nil
+}
+
+// Run expands the grid and executes every scenario on a bounded
+// worker pool. Scenario failures are recorded per run (see
+// Results.Failed); Run itself fails only on an invalid grid.
+func Run(g Grid, opt Options) (*Results, error) {
+	g = g.WithDefaults()
+	scens, err := Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scens) {
+		workers = len(scens)
+	}
+
+	start := time.Now()
+	ld := &loader{}
+	runs := make([]RunResult, len(scens))
+
+	var (
+		wg     sync.WaitGroup
+		progMu sync.Mutex
+		done   int
+		idx    = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runs[i] = runScenario(ld, g, scens[i])
+				if opt.Progress != nil {
+					progMu.Lock()
+					done++
+					opt.Progress(done, len(scens), &runs[i])
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range scens {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	return &Results{
+		Grid:    g,
+		Runs:    runs,
+		Load:    ld.stats(),
+		Workers: workers,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// runScenario executes one grid point. All shared inputs come from
+// the loader (published read-only); everything mutable — policy,
+// server model, platform — is built fresh here, which is what makes
+// concurrent scenarios independent.
+func runScenario(ld *loader, g Grid, s Scenario) RunResult {
+	out := RunResult{Scenario: s}
+	fail := func(err error) RunResult {
+		out.Err = err.Error()
+		return out
+	}
+
+	tk := traceKey{
+		seed:      s.Seed,
+		vms:       s.VMs,
+		days:      s.HistoryDays + s.EvalDays,
+		churnFrac: s.ChurnFraction,
+	}
+	tp, err := ld.trace(tk)
+	if err != nil {
+		return fail(err)
+	}
+	ps, err := ld.predictions(predKey{
+		tk:          tk,
+		predictor:   s.Predictor,
+		historyDays: s.HistoryDays,
+		evalDays:    s.EvalDays,
+	}, tp.tr)
+	if err != nil {
+		return fail(err)
+	}
+
+	model := ServerModel(s.StaticPowerW)
+	pol, err := newPolicy(s.Policy, model)
+	if err != nil {
+		return fail(err)
+	}
+	transitions, err := g.transitionFor(s.Transitions)
+	if err != nil {
+		return fail(err)
+	}
+
+	res, err := dcsim.Run(dcsim.Config{
+		Trace:       tp.tr,
+		Predictions: ps,
+		HistoryDays: s.HistoryDays,
+		EvalDays:    s.EvalDays,
+		Policy:      pol,
+		Server:      model,
+		Platform:    platform.NTCServer(),
+		MaxServers:  s.MaxServers,
+		Transitions: transitions,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	out.PredictorImpl = res.Predictor
+	out.ChurnAffectedVMs = tp.affected
+	out.TotalEnergyMJ = res.TotalEnergy.MJ()
+	out.TransitionMJ = res.TotalTransitionEnergy.MJ()
+	out.Violations = res.TotalViol
+	out.MeanActive = res.MeanActive
+	out.PeakActive = res.PeakActive
+	out.Migrations = res.TotalMigrations
+	out.Slots = len(res.Slots)
+	out.MeanPlannedFreqGHz = res.MeanPlannedFreqGHz()
+	out.Run = res
+	return out
+}

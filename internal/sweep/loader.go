@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dcsim"
+	"repro/internal/trace"
+)
+
+// memo is a keyed once-per-key loader: concurrent gets for the same
+// key block on a single build and then share the result. Values are
+// published immutable — callers must treat them as read-only.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+
+	gets, builds atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (m *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
+	m.gets.Add(1)
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = map[K]*memoEntry[V]{}
+	}
+	e, ok := m.m[k]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.m[k] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		m.builds.Add(1)
+		e.val, e.err = build()
+	})
+	return e.val, e.err
+}
+
+// traceKey identifies one generated (and optionally churned) trace.
+type traceKey struct {
+	seed      int64
+	vms, days int
+	churnFrac float64
+}
+
+// predKey identifies one prediction set over a trace.
+type predKey struct {
+	tk                    traceKey
+	predictor             string
+	historyDays, evalDays int
+}
+
+// tracePair is a published trace plus how many VMs churn touched.
+type tracePair struct {
+	tr       *trace.Trace
+	affected int
+}
+
+// loader memoizes the two expensive inputs of a run. One loader is
+// shared by all workers of a sweep, so a 24-scenario grid over one
+// trace generates that trace once and fits ARIMA once.
+type loader struct {
+	traces memo[traceKey, tracePair]
+	preds  memo[predKey, *dcsim.PredictionSet]
+}
+
+// LoadStats reports the loader's sharing: how many distinct inputs
+// were built versus how many scenario runs asked for one.
+type LoadStats struct {
+	TraceRequests   int64 `json:"trace_requests"`
+	TraceBuilds     int64 `json:"trace_builds"`
+	PredictRequests int64 `json:"predict_requests"`
+	PredictBuilds   int64 `json:"predict_builds"`
+}
+
+func (l *loader) stats() LoadStats {
+	return LoadStats{
+		TraceRequests:   l.traces.gets.Load(),
+		TraceBuilds:     l.traces.builds.Load(),
+		PredictRequests: l.preds.gets.Load(),
+		PredictBuilds:   l.preds.builds.Load(),
+	}
+}
+
+// trace returns the (possibly churned) trace for a scenario. Churn
+// derives its seed as trace seed + 99, the convention the churn
+// experiments established, so a churn level is reproducible from the
+// scenario alone.
+func (l *loader) trace(k traceKey) (tracePair, error) {
+	return l.traces.get(k, func() (tracePair, error) {
+		tr, err := trace.Generate(DCTraceConfig(k.seed, k.vms, k.days))
+		if err != nil {
+			return tracePair{}, fmt.Errorf("sweep: generating trace %+v: %w", k, err)
+		}
+		affected := 0
+		if k.churnFrac > 0 {
+			cc := trace.DefaultChurnConfig(k.seed + 99)
+			cc.ArrivalFraction = k.churnFrac
+			cc.DepartureFraction = k.churnFrac
+			affected, err = tr.ApplyChurn(cc)
+			if err != nil {
+				return tracePair{}, fmt.Errorf("sweep: applying churn %+v: %w", k, err)
+			}
+		}
+		return tracePair{tr: tr, affected: affected}, nil
+	})
+}
+
+// predictions returns the shared prediction set over tr (the trace
+// the caller already loaded for k.tk).
+func (l *loader) predictions(k predKey, tr *trace.Trace) (*dcsim.PredictionSet, error) {
+	return l.preds.get(k, func() (*dcsim.PredictionSet, error) {
+		pred, err := newPredictor(k.predictor)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := dcsim.Predict(tr, pred, k.historyDays, k.evalDays)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: predicting %+v: %w", k, err)
+		}
+		return ps, nil
+	})
+}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// CSV returns the run table in a fixed column order and formatting.
+// The bytes depend only on the grid, never on worker count or timing
+// — the determinism tests compare this output verbatim.
+func (r *Results) CSV() string {
+	var b strings.Builder
+	b.WriteString("policy,predictor,transitions,vms,max_servers,eval_days,seed," +
+		"static_power_w,churn_fraction,churn_affected_vms,slots," +
+		"total_energy_mj,transition_mj,violations,mean_active,peak_active," +
+		"migrations,mean_planned_freq_ghz,error\n")
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		s := run.Scenario
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s\n",
+			csvField(s.Policy), csvField(s.Predictor), csvField(s.Transitions),
+			s.VMs, s.MaxServers, s.EvalDays, s.Seed,
+			s.StaticPowerW, s.ChurnFraction, run.ChurnAffectedVMs, run.Slots,
+			run.TotalEnergyMJ, run.TransitionMJ, run.Violations, run.MeanActive,
+			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz, csvField(run.Err))
+	}
+	return b.String()
+}
+
+// csvField quotes a free-text field (error messages, user-supplied
+// names) RFC 4180-style when it would otherwise break the row.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n\r") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// JSON returns the sweep (grid, runs, load stats) as indented JSON.
+// Like CSV, the bytes are independent of worker count.
+func (r *Results) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary writes a human-readable digest: per-policy aggregates over
+// all scenarios, input-sharing stats, and wall-clock time.
+func (r *Results) Summary(w io.Writer) error {
+	type agg struct {
+		n          int
+		energy     float64
+		violations int
+		active     float64
+		failed     int
+	}
+	byPolicy := map[string]*agg{}
+	var order []string
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		a := byPolicy[run.Scenario.Policy]
+		if a == nil {
+			a = &agg{}
+			byPolicy[run.Scenario.Policy] = a
+			order = append(order, run.Scenario.Policy)
+		}
+		if run.Err != "" {
+			a.failed++
+			continue
+		}
+		a.n++
+		a.energy += run.TotalEnergyMJ
+		a.violations += run.Violations
+		a.active += run.MeanActive
+	}
+	// order is first-seen, i.e. the grid's presentation order (the
+	// paper's EPACT-first ordering when policies are the default).
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "sweep: %d scenarios, %d workers, %s\n", len(r.Runs), r.Workers, r.Elapsed.Round(1e6))
+	fmt.Fprintf(tw, "inputs: %d traces built for %d requests, %d prediction sets for %d requests\n",
+		r.Load.TraceBuilds, r.Load.TraceRequests, r.Load.PredictBuilds, r.Load.PredictRequests)
+	fmt.Fprintln(tw, "policy\tscenarios\tmean energy (MJ)\ttotal violations\tmean active\tfailed")
+	for _, p := range order {
+		a := byPolicy[p]
+		meanE, meanA := 0.0, 0.0
+		if a.n > 0 {
+			meanE = a.energy / float64(a.n)
+			meanA = a.active / float64(a.n)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%.1f\t%d\n", p, a.n+a.failed, meanE, a.violations, meanA, a.failed)
+	}
+	return tw.Flush()
+}

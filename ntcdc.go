@@ -33,6 +33,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/qos"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -85,6 +86,20 @@ type (
 
 	// WeekConfig parameterises the data-center experiments.
 	WeekConfig = experiments.DCConfig
+
+	// SweepGrid declares a scenario space (policy × pool × predictor
+	// × transitions × churn × seed) for the concurrent sweep engine.
+	SweepGrid = sweep.Grid
+
+	// SweepOptions tunes a sweep execution (worker count, progress).
+	SweepOptions = sweep.Options
+
+	// SweepResults is a completed sweep: runs in deterministic grid
+	// order plus input-sharing stats, with CSV/JSON/Summary emitters.
+	SweepResults = sweep.Results
+
+	// SweepScenario is one concrete grid point.
+	SweepScenario = sweep.Scenario
 )
 
 // Workload classes (Section III-B).
@@ -202,6 +217,18 @@ func DefaultWeekConfig() WeekConfig { return experiments.DefaultDCConfig() }
 // RunWeek runs the Figs. 4-6 comparison: EPACT vs COAT vs COAT-OPT on
 // one trace with shared predictions.
 func RunWeek(cfg WeekConfig) (*WeekResult, error) { return experiments.Fig4to6(cfg) }
+
+// RunSweep expands a scenario grid and executes it on a bounded
+// worker pool with shared trace/prediction loading. Results are
+// byte-identical for any worker count; an empty grid runs the paper's
+// default EPACT/COAT/COAT-OPT week.
+func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResults, error) { return sweep.Run(g, opt) }
+
+// SweepPolicies lists the allocation-policy names a grid accepts.
+func SweepPolicies() []string { return sweep.PolicyNames() }
+
+// SweepPredictors lists the forecast-variant names a grid accepts.
+func SweepPredictors() []string { return sweep.PredictorNames() }
 
 // Predict builds day-ahead forecasts for a trace (see dcsim.Predict).
 func Predict(tr *Trace, p Predictor, historyDays, evalDays int) (*dcsim.PredictionSet, error) {

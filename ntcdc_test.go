@@ -143,3 +143,28 @@ func TestFacadePowerBreakdown(t *testing.T) {
 		t.Error("NTC proportionality should beat conventional")
 	}
 }
+
+func TestFacadeRunSweep(t *testing.T) {
+	res, err := RunSweep(SweepGrid{
+		Policies:   []string{"EPACT", "COAT"},
+		VMs:        []int{40},
+		MaxServers: []int{40},
+		EvalDays:   1,
+		Predictors: []string{"oracle"},
+	}, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(res.Runs))
+	}
+	if res.Runs[0].Scenario.Policy != "EPACT" || res.Runs[0].TotalEnergyMJ <= 0 {
+		t.Errorf("unexpected first run: %+v", res.Runs[0])
+	}
+	if len(SweepPolicies()) != 6 || len(SweepPredictors()) != 4 {
+		t.Errorf("registries = %v / %v", SweepPolicies(), SweepPredictors())
+	}
+}
