@@ -8,9 +8,18 @@
 //	ntc-sweep -policies EPACT,COAT -vms 150 -days 2 -workers 8
 //	ntc-sweep -grid grid.json -csv results.csv -json results.json
 //
-// The CSV/JSON output is byte-identical for any -workers value: the
-// engine seeds every scenario deterministically and orders results by
-// grid expansion, so parallelism changes wall-clock time only.
+// Traces come from pluggable ingestion backends via -trace
+// ("synthetic", "csv:file", "cluster:file"; see docs/TRACES.md), and
+// -cache/-cache-dir enable the incremental result store: re-running a
+// grid only executes scenarios whose inputs changed.
+//
+//	ntc-sweep -trace csv:week.csv -vms 200 -days 2 -history 2
+//	ntc-sweep -grid grid.json -cache rw -cache-dir .sweep-cache
+//
+// The CSV/JSON output is byte-identical for any -workers value and
+// any cache state: the engine seeds every scenario deterministically,
+// orders results by grid expansion, and keeps execution metadata
+// (timing, load and cache statistics) out of both serialisations.
 package main
 
 import (
@@ -22,6 +31,8 @@ import (
 	"strings"
 
 	"repro/internal/sweep"
+	"repro/internal/sweep/cache"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ntc-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gridFile    = fs.String("grid", "", "JSON grid file (overrides the axis flags)")
+		gridFile    = fs.String("grid", "", "JSON grid file (mutually exclusive with the axis flags)")
 		policies    = fs.String("policies", "EPACT,COAT,COAT-OPT", "comma-separated policies ("+strings.Join(sweep.PolicyNames(), ", ")+")")
 		vms         = fs.String("vms", "600", "comma-separated VM counts")
 		maxServers  = fs.String("max-servers", "600", "comma-separated physical pool bounds (0 = unbounded)")
@@ -49,7 +60,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		predictors  = fs.String("predictors", "arima", "comma-separated predictors ("+strings.Join(sweep.PredictorNames(), ", ")+")")
 		transitions = fs.String("transitions", "none", "comma-separated transition models ("+strings.Join(sweep.TransitionNames(), ", ")+")")
 		churn       = fs.String("churn", "0", "comma-separated churn fractions in [0,1]")
+		traces      = fs.String("trace", "synthetic", "comma-separated trace backends ("+strings.Join(trace.Backends(), ", ")+"), e.g. synthetic,csv:week.csv")
 		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheMode   = fs.String("cache", "off", "incremental result cache: off, rw (read+write), ro (read-only)")
+		cacheDir    = fs.String("cache-dir", "", "result-cache directory (required unless -cache off)")
 		csvPath     = fs.String("csv", "", "write the CSV table here instead of stdout")
 		jsonPath    = fs.String("json", "", "also write full results as JSON here")
 		quiet       = fs.Bool("quiet", false, "suppress the summary")
@@ -57,9 +71,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	mode, err := cache.ParseMode(*cacheMode)
+	if err != nil {
+		return err
+	}
+	store, err := cache.Open(*cacheDir, mode)
+	if err != nil {
+		return err
+	}
 
 	var g sweep.Grid
 	if *gridFile != "" {
+		// The axis flags and -grid are mutually exclusive: silently
+		// ignoring explicit flags would run a different grid than the
+		// command line reads.
+		axisFlags := map[string]bool{
+			"policies": true, "vms": true, "max-servers": true, "days": true,
+			"history": true, "seeds": true, "static": true, "predictors": true,
+			"transitions": true, "churn": true, "trace": true,
+		}
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if axisFlags[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-grid and -%s are mutually exclusive (the grid file defines every axis)", conflict)
+		}
 		data, err := os.ReadFile(*gridFile)
 		if err != nil {
 			return err
@@ -70,11 +113,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		var err error
 		if g, err = gridFromFlags(*policies, *vms, *maxServers, *seeds, *static,
-			*predictors, *transitions, *churn, *days, *history); err != nil {
+			*predictors, *transitions, *churn, *traces, *days, *history); err != nil {
 			return err
 		}
 	}
 
+	// Expand before running so an unknown axis value (policy,
+	// predictor, transition, trace backend, ...) is a clear error and
+	// a non-zero exit, never a partial or empty table.
 	scens, err := sweep.Expand(g)
 	if err != nil {
 		return err
@@ -83,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "running %d scenarios...\n", len(scens))
 	}
 
-	res, err := sweep.Run(g, sweep.Options{Workers: *workers})
+	res, err := sweep.Run(g, sweep.Options{Workers: *workers, Cache: store})
 	if err != nil {
 		return err
 	}
@@ -111,6 +157,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := res.Summary(stderr); err != nil {
 			return err
 		}
+	} else if res.CacheErr != nil {
+		// Cache write failures are warnings (results are complete),
+		// but never swallow them entirely.
+		fmt.Fprintf(stderr, "ntc-sweep: warning: %v\n", res.CacheErr)
 	}
 	// Scenario failures are recorded in the table; surface them on
 	// the exit code too.
@@ -118,10 +168,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.
-func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn string, days, history int) (sweep.Grid, error) {
+func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces string, days, history int) (sweep.Grid, error) {
 	g := sweep.Grid{
 		Policies:    splitList(policies),
 		Predictors:  splitList(predictors),
+		Traces:      splitList(traces),
 		EvalDays:    days,
 		HistoryDays: history,
 	}

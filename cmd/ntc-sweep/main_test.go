@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // sweepArgs is the acceptance grid: 6 policies × 2 transition models
@@ -20,6 +22,31 @@ func sweepArgs(extra ...string) []string {
 		"-days", "1",
 	}
 	return append(args, extra...)
+}
+
+// writeTestTrace writes a deterministic generated trace to dir in the
+// native CSV format and returns its path.
+func writeTestTrace(t *testing.T, dir string, seed int64, vms, days int) string {
+	t.Helper()
+	cfg := trace.DefaultConfig(seed)
+	cfg.VMs = vms
+	cfg.Days = days
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 // TestWorkerCountDoesNotChangeOutput is the CLI-level determinism
@@ -39,6 +66,119 @@ func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Errorf("-workers=1 and -workers=8 disagree:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestCSVTraceAxisGolden pins the CSV-backed trace axis: the same
+// trace file through 1, 4 and 8 workers must produce one
+// byte-identical table whose rows match the golden values below.
+// A drift here means the ingestion pipeline (CSV decode → fit →
+// predict → simulate) changed, not just the generator.
+func TestCSVTraceAxisGolden(t *testing.T) {
+	path := writeTestTrace(t, t.TempDir(), 5, 24, 2)
+	args := []string{
+		"-policies", "EPACT,COAT",
+		"-vms", "24",
+		"-max-servers", "24",
+		"-days", "1",
+		"-history", "1",
+		"-predictors", "oracle",
+		"-trace", "csv:" + path,
+		"-quiet",
+	}
+
+	var outputs []string
+	for _, workers := range []string{"1", "4", "8"} {
+		var stdout, stderr bytes.Buffer
+		if err := run(append(args, "-workers", workers), &stdout, &stderr); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("worker counts disagree on a CSV-backed trace:\n%s\nvs\n%s\nvs\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+
+	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d CSV lines, want 3 (header + EPACT + COAT):\n%s", len(lines), outputs[0])
+	}
+	// Golden rows, pinned (trace column carries the temp path, so
+	// compare around it).
+	golden := []struct{ prefix, suffix string }{
+		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,"},
+		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,"},
+	}
+	for i, want := range golden {
+		row := lines[i+1]
+		if !strings.HasPrefix(row, want.prefix) {
+			t.Errorf("row %d = %q, want prefix %q", i+1, row, want.prefix)
+		}
+		if !strings.HasSuffix(row, want.suffix) {
+			t.Errorf("row %d = %q, want suffix %q", i+1, row, want.suffix)
+		}
+	}
+}
+
+// TestCacheRerunIsAllHitsAndByteIdentical is the CLI half of the
+// incremental-cache acceptance criterion: the second -cache=rw run of
+// an identical grid executes nothing (all hits, zero trace builds)
+// and its CSV/JSON bytes match the first run's.
+func TestCacheRerunIsAllHitsAndByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeTestTrace(t, dir, 9, 30, 2)
+	cacheDir := filepath.Join(dir, "cache")
+	jsonA, jsonB := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+
+	args := func(jsonOut string) []string {
+		return []string{
+			"-policies", "EPACT,COAT",
+			"-vms", "30",
+			"-max-servers", "30",
+			"-days", "1",
+			"-history", "1",
+			"-predictors", "oracle",
+			"-trace", "csv:" + tracePath,
+			"-cache", "rw",
+			"-cache-dir", cacheDir,
+			"-json", jsonOut,
+		}
+	}
+
+	var out1, err1 bytes.Buffer
+	if err := run(args(jsonA), &out1, &err1); err != nil {
+		t.Fatalf("%v\n%s", err, err1.String())
+	}
+	if !strings.Contains(err1.String(), "cache: 0 hits, 2 misses, 2 rows written") {
+		t.Errorf("cold-run summary missing cache stats:\n%s", err1.String())
+	}
+
+	var out2, err2 bytes.Buffer
+	if err := run(args(jsonB), &out2, &err2); err != nil {
+		t.Fatalf("%v\n%s", err, err2.String())
+	}
+	// All hits, nothing executed: no trace was ingested, no
+	// prediction set was built.
+	if !strings.Contains(err2.String(), "cache: 2 hits, 0 misses, 0 rows written") {
+		t.Errorf("warm-run summary shows executions:\n%s", err2.String())
+	}
+	if !strings.Contains(err2.String(), "0 traces built for 0 requests") {
+		t.Errorf("warm run ingested inputs:\n%s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached CSV differs:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	a, err := os.ReadFile(jsonA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jsonB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("cached JSON differs from uncached run")
 	}
 }
 
@@ -78,25 +218,69 @@ func TestGridFileAndOutputFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"total_energy_mj"`, `"EPACT"`, `"trace_builds": 1`} {
+	for _, want := range []string{`"total_energy_mj"`, `"EPACT"`, `"trace": "synthetic"`} {
 		if !bytes.Contains(js, []byte(want)) {
 			t.Errorf("JSON missing %s", want)
 		}
 	}
+	// Execution metadata stays out of the JSON (the byte-identity
+	// contract across worker counts and cache states).
+	if bytes.Contains(js, []byte(`"trace_builds"`)) {
+		t.Error("JSON leaks loader statistics")
+	}
 	if !strings.Contains(stderr.String(), "2 scenarios") {
 		t.Errorf("summary missing scenario count:\n%s", stderr.String())
 	}
+	if !strings.Contains(stderr.String(), "1 traces built for 2 requests") {
+		t.Errorf("summary missing loader stats:\n%s", stderr.String())
+	}
 }
 
+// TestBadFlagsSurfaceErrors: every unknown axis value must produce a
+// clear error and a non-zero exit (run returning an error), never a
+// panic or an empty table.
 func TestBadFlagsSurfaceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown-policy", []string{"-policies", "nope"}, "unknown policy"},
+		{"unknown-predictor", []string{"-predictors", "prophet"}, "unknown predictor"},
+		{"unknown-transitions", []string{"-transitions", "expensive"}, "unknown transition model"},
+		{"unknown-trace-backend", []string{"-trace", "bogus:x"}, `unknown trace backend "bogus"`},
+		{"csv-trace-without-path", []string{"-trace", "csv"}, "needs a file path"},
+		{"non-numeric-vms", []string{"-vms", "forty"}, "-vms"},
+		{"negative-vms", []string{"-vms", "-3"}, "VMs must be positive"},
+		{"churn-out-of-range", []string{"-churn", "1.5"}, "churn fraction"},
+		{"missing-grid-file", []string{"-grid", "/does/not/exist.json"}, "no such file"},
+		{"grid-plus-axis-flag", []string{"-grid", "g.json", "-policies", "EPACT"}, "mutually exclusive"},
+		{"unknown-cache-mode", []string{"-cache", "readwrite"}, "unknown mode"},
+		{"cache-without-dir", []string{"-cache", "rw"}, "needs a cache directory"},
+		{"stray-args", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error = %v, want mention of %q", c.args, err, c.want)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("run(%v) wrote output despite failing:\n%s", c.args, stdout.String())
+			}
+		})
+	}
+
+	// A missing trace file is a scenario-level failure: the table
+	// records it and the exit is non-zero.
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-policies", "nope"}, &stdout, &stderr); err == nil {
-		t.Error("unknown policy did not fail")
+	err := run([]string{"-trace", "csv:/does/not/exist.csv", "-vms", "10", "-days", "1", "-history", "1",
+		"-policies", "EPACT", "-predictors", "oracle", "-quiet"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("missing trace file error = %v", err)
 	}
-	if err := run([]string{"-vms", "forty"}, &stdout, &stderr); err == nil {
-		t.Error("non-numeric -vms did not fail")
-	}
-	if err := run([]string{"-grid", "/does/not/exist.json"}, &stdout, &stderr); err == nil {
-		t.Error("missing grid file did not fail")
+	if !strings.Contains(stdout.String(), "no such file") {
+		t.Errorf("missing trace file not recorded in the table:\n%s", stdout.String())
 	}
 }

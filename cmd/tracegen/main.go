@@ -1,9 +1,19 @@
 // Command tracegen emits a synthetic Google-cluster-style VM
-// utilisation trace as CSV on stdout (or to -o).
+// utilisation trace on stdout (or to -o), in either of the formats
+// the sweep's trace-ingestion backends consume (see docs/TRACES.md):
+//
+//   - csv: the native long format (vm_id,class,sample,cpu_pct,mem_pct),
+//     read back with the "csv:" backend;
+//   - cluster: a cluster-style reading table (timestamp,vm_id,
+//     cpu_util,mem_util with fractional units), read back with the
+//     "cluster:" backend — useful for exercising the cluster adapter
+//     without shipping a real dump.
 //
 // Usage:
 //
-//	tracegen [-vms 600] [-days 7] [-seed 1] [-o trace.csv] [-stats]
+//	tracegen [-vms 600] [-days 7] [-seed 1] [-format csv] [-o trace.csv] [-stats]
+//	tracegen -vms 200 -days 3 -o week.csv
+//	ntc-sweep -trace csv:week.csv -vms 200 -days 2 -history 1
 package main
 
 import (
@@ -17,13 +27,27 @@ import (
 
 func main() {
 	var (
-		vms   = flag.Int("vms", 600, "number of VMs")
-		days  = flag.Int("days", 7, "days of trace (288 samples/day)")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-		stats = flag.Bool("stats", false, "print trace statistics to stderr")
+		vms    = flag.Int("vms", 600, "number of VMs")
+		days   = flag.Int("days", 7, "days of trace (288 samples/day)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		format = flag.String("format", "csv", "output format: csv (native) or cluster (reading table)")
+		out    = flag.String("o", "", "output file (default stdout)")
+		stats  = flag.Bool("stats", false, "print trace statistics to stderr")
 	)
 	flag.Parse()
+
+	// Validate -format before os.Create: creating first would
+	// truncate an existing trace file on a flag typo.
+	var write func(*trace.Trace, io.Writer) error
+	switch *format {
+	case "csv":
+		write = (*trace.Trace).WriteCSV
+	case "cluster":
+		write = (*trace.Trace).WriteClusterCSV
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown -format %q (known: csv, cluster)\n", *format)
+		os.Exit(1)
+	}
 
 	cfg := trace.DefaultConfig(*seed)
 	cfg.VMs = *vms
@@ -44,7 +68,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := tr.WriteCSV(w); err != nil {
+	if err := write(tr, w); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

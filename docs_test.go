@@ -1,0 +1,89 @@
+package ntcdc
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference
+// links and autolinks are out of scope — the repo's docs use the
+// inline form.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every tracked markdown file and checks
+// that relative links resolve to files in the repository, so docs
+// cannot silently rot as files move. CI runs this in the docs job.
+func TestMarkdownLinks(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and generated output directories.
+			if d.Name() == ".git" || d.Name() == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			// External and intra-document links are not checked here.
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Drop anchors and URL-escaped spaces in file targets.
+			if i := strings.Index(target, "#"); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links checked — the docs should cross-link (README ↔ docs/)")
+	}
+}
+
+// TestREADMELinksDesignDocs pins the satellite requirement that the
+// architecture and trace documents are reachable from the README.
+func TestREADMELinksDesignDocs(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("README.md does not link %s", want)
+		}
+	}
+}

@@ -3,7 +3,14 @@
 // forecasts, and the EPACT / COAT / COAT-OPT comparison of Figs. 4-6.
 //
 // Pass -full for the paper-scale run (600 VMs, one week; takes a few
-// seconds).
+// seconds). Pass -trace to replay a file-backed trace instead of the
+// generator, e.g.
+//
+//	go run ./cmd/tracegen -vms 150 -days 9 -o week.csv
+//	go run ./examples/datacenter -trace csv:week.csv
+//
+// (the file must hold at least the example's VM count and 7 history
+// days + the evaluated days; see docs/TRACES.md for the formats).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale run (600 VMs, 7 days)")
+	traceSpec := flag.String("trace", "", `trace backend spec, e.g. "csv:week.csv" (default: synthetic generator)`)
 	flag.Parse()
 
 	cfg := ntcdc.DefaultWeekConfig()
@@ -24,8 +32,13 @@ func main() {
 		cfg.VMs = 150
 		cfg.EvalDays = 2
 	}
+	cfg.TraceSpec = *traceSpec
 
-	fmt.Printf("simulating %d VMs over %d days (ARIMA predictions)...\n\n", cfg.VMs, cfg.EvalDays)
+	source := "synthetic trace"
+	if *traceSpec != "" {
+		source = *traceSpec
+	}
+	fmt.Printf("simulating %d VMs over %d days (%s, ARIMA predictions)...\n\n", cfg.VMs, cfg.EvalDays, source)
 	week, err := ntcdc.RunWeek(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,12 @@
 // 5-minute sample from the real utilisation, SLA-violation accounting
 // (overutilised servers), and energy integration over the server
 // power model.
+//
+// The simulator is agnostic to where its trace came from: any
+// trace.Trace on the 5-minute tick grid replays identically, whether
+// synthesised or ingested from a file backend. Config.TraceLabel
+// carries the ingestion provenance into Result.Trace so downstream
+// reports can attribute numbers to their trace source.
 package dcsim
 
 import (

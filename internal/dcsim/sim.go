@@ -47,6 +47,11 @@ type Config struct {
 	// (no transition costs); DefaultTransitions enables the extension
 	// accounting.
 	Transitions TransitionModel
+
+	// TraceLabel optionally records where Trace came from (an
+	// ingestion-backend spec like "csv:week.csv"); it is carried into
+	// Result.Trace for provenance and defaults to "synthetic".
+	TraceLabel string
 }
 
 // SlotResult aggregates one time slot (1 hour, 12 samples).
@@ -78,8 +83,13 @@ type SlotResult struct {
 
 // Result is a full run.
 type Result struct {
-	Policy      string
-	Predictor   string
+	Policy    string
+	Predictor string
+
+	// Trace is the ingestion-backend spec of the replayed trace (the
+	// Config.TraceLabel provenance).
+	Trace string
+
 	Slots       []SlotResult
 	TotalEnergy units.Energy
 	TotalViol   int
@@ -148,7 +158,11 @@ func Run(cfg Config) (*Result, error) {
 	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
 	nVMs := len(cfg.Trace.VMs)
 
-	res := &Result{Policy: cfg.Policy.Name(), Predictor: cfg.Predictions.Predictor}
+	label := cfg.TraceLabel
+	if label == "" {
+		label = "synthetic"
+	}
+	res := &Result{Policy: cfg.Policy.Name(), Predictor: cfg.Predictions.Predictor, Trace: label}
 	sampleSec := cfg.Trace.Interval.Seconds()
 
 	var prevAsg *alloc.Assignment

@@ -32,6 +32,12 @@ type DCConfig struct {
 	// (motherboard/fan/disk); 0 keeps the default 15 W. Fig. 7 sweeps
 	// this between 5 and 45 W.
 	StaticPowerW float64
+
+	// TraceSpec selects the trace-ingestion backend ("synthetic",
+	// "csv:path", "cluster:path"; empty = synthetic). File-backed
+	// runs need at least VMs virtual machines and 7+EvalDays days in
+	// the file; Seed then only drives churn-style randomness.
+	TraceSpec string
 }
 
 // DefaultDCConfig mirrors the paper's setup. The trace generator's
@@ -67,7 +73,7 @@ func weekGrid(cfg DCConfig, policies []string) sweep.Grid {
 	if cfg.UseARIMA {
 		pred = "arima"
 	}
-	return sweep.Grid{
+	g := sweep.Grid{
 		Policies:     policies,
 		VMs:          []int{cfg.VMs},
 		MaxServers:   []int{cfg.MaxServers},
@@ -77,6 +83,10 @@ func weekGrid(cfg DCConfig, policies []string) sweep.Grid {
 		StaticPowerW: []float64{cfg.StaticPowerW},
 		Predictors:   []string{pred},
 	}
+	if cfg.TraceSpec != "" {
+		g.Traces = []string{cfg.TraceSpec}
+	}
+	return g
 }
 
 // runGrid executes a grid and returns its runs, surfacing the first

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,10 +9,18 @@ import (
 
 	"repro/internal/dcsim"
 	"repro/internal/platform"
+	"repro/internal/sweep/cache"
 )
 
+// resultSchemaVersion salts every cache key. Bump it whenever the
+// meaning of a RunResult row can change without the scenario identity
+// changing — model constants, simulator semantics, the CSV/JSON
+// field set — so stale stores invalidate wholesale instead of
+// replaying rows the current code would not produce.
+const resultSchemaVersion = "sweep-result-v1"
+
 // Options tunes one sweep execution. The zero value runs on
-// GOMAXPROCS workers with no progress reporting.
+// GOMAXPROCS workers with no progress reporting and no caching.
 type Options struct {
 	// Workers bounds the worker pool; <= 0 uses GOMAXPROCS. The
 	// worker count affects wall-clock time only, never results.
@@ -19,8 +28,15 @@ type Options struct {
 
 	// Progress, when set, is called after each completed scenario
 	// (serialised; completion order is nondeterministic but done/total
-	// are monotonic).
+	// are monotonic). Cache hits report progress like executed runs.
 	Progress func(done, total int, r *RunResult)
+
+	// Cache, when non-nil, answers scenarios from the incremental
+	// result store and persists freshly executed rows (per the
+	// store's mode). Cached rows are byte-identical to executed ones;
+	// only the in-memory Run field (the full simulation output) is
+	// absent on a hit. Failed scenarios are never cached.
+	Cache *cache.Store
 }
 
 // RunResult is one scenario's outcome. Run holds the full per-slot
@@ -48,8 +64,13 @@ type RunResult struct {
 	// Err is the scenario's failure, if any; other fields are zero.
 	Err string `json:"error,omitempty"`
 
-	// Run is the full simulation result (nil on error). It is not
-	// serialised; use the CSV/JSON aggregates for persistence.
+	// Cached reports whether this row came from the result store. It
+	// is execution metadata, excluded from CSV/JSON like Workers.
+	Cached bool `json:"-"`
+
+	// Run is the full simulation result (nil on error and on cache
+	// hits). It is not serialised; use the CSV/JSON aggregates for
+	// persistence.
 	Run *dcsim.Result `json:"-"`
 }
 
@@ -61,12 +82,21 @@ type Results struct {
 	// Runs are in expansion order — the deterministic output contract.
 	Runs []RunResult `json:"runs"`
 
-	// Load reports input sharing across the sweep.
-	Load LoadStats `json:"load"`
+	// Everything below describes the execution, not the results. It
+	// is excluded from CSV/JSON so outputs stay byte-identical across
+	// worker counts and cache states (the incremental-cache
+	// acceptance contract); the Summary reports it instead.
 
-	// Workers and Elapsed describe the execution, not the results
-	// (both are excluded from CSV/JSON so outputs stay byte-identical
-	// across worker counts).
+	// Load reports input sharing across the sweep.
+	Load LoadStats `json:"-"`
+
+	// Cache reports result-store traffic (zero without a store).
+	Cache cache.Stats `json:"-"`
+
+	// CacheErr is the first failure to persist a row, if any. Results
+	// are complete regardless; surface it as a warning.
+	CacheErr error `json:"-"`
+
 	Workers int           `json:"-"`
 	Elapsed time.Duration `json:"-"`
 }
@@ -103,17 +133,24 @@ func Run(g Grid, opt Options) (*Results, error) {
 	runs := make([]RunResult, len(scens))
 
 	var (
-		wg     sync.WaitGroup
-		progMu sync.Mutex
-		done   int
-		idx    = make(chan int)
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		done     int
+		cacheErr error
+		idx      = make(chan int)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runs[i] = runScenario(ld, g, scens[i])
+				runs[i] = cachedScenario(ld, g, scens[i], opt.Cache, func(err error) {
+					progMu.Lock()
+					if cacheErr == nil {
+						cacheErr = err
+					}
+					progMu.Unlock()
+				})
 				if opt.Progress != nil {
 					progMu.Lock()
 					done++
@@ -130,12 +167,70 @@ func Run(g Grid, opt Options) (*Results, error) {
 	wg.Wait()
 
 	return &Results{
-		Grid:    g,
-		Runs:    runs,
-		Load:    ld.stats(),
-		Workers: workers,
-		Elapsed: time.Since(start),
+		Grid:     g,
+		Runs:     runs,
+		Load:     ld.stats(),
+		Cache:    opt.Cache.Stats(),
+		CacheErr: cacheErr,
+		Workers:  workers,
+		Elapsed:  time.Since(start),
 	}, nil
+}
+
+// scenarioCacheKey addresses one scenario's result row: the scenario
+// identity, the trace source's content fingerprint (so edited trace
+// files re-execute), the resolved transition model (custom models
+// live in the grid, not the scenario name), and the result schema
+// version. ok=false means the scenario is uncacheable right now
+// (e.g. an unreadable trace file); it then executes normally and
+// fails with the canonical ingestion error.
+func scenarioCacheKey(ld *loader, g Grid, s Scenario) (string, bool) {
+	fp, err := ld.fingerprint(s.TraceSpec)
+	if err != nil {
+		return "", false
+	}
+	tm, err := g.transitionFor(s.Transitions)
+	if err != nil {
+		return "", false
+	}
+	tj, err := json.Marshal(tm)
+	if err != nil {
+		return "", false
+	}
+	return cache.Key(resultSchemaVersion, s.ID(), fp, string(tj)), true
+}
+
+// cachedScenario answers one grid point from the result store when it
+// can, executing and persisting it otherwise. onPutErr reports store
+// write failures (results stay complete).
+func cachedScenario(ld *loader, g Grid, s Scenario, store *cache.Store, onPutErr func(error)) RunResult {
+	key := ""
+	if store != nil {
+		if k, ok := scenarioCacheKey(ld, g, s); ok {
+			key = k
+			if row, hit := store.Get(key); hit {
+				var r RunResult
+				// A row that does not decode back to this scenario is
+				// treated as corrupt and re-executed (the store has
+				// already counted the hit; correctness beats stats).
+				if err := json.Unmarshal(row, &r); err == nil && r.Scenario == s && r.Err == "" {
+					r.Cached = true
+					return r
+				}
+			}
+		}
+	}
+	r := runScenario(ld, g, s)
+	if key != "" && r.Err == "" {
+		row, err := json.Marshal(r)
+		if err == nil {
+			err = store.Put(key, row)
+		}
+		if err != nil {
+			onPutErr(fmt.Errorf("sweep: caching %s: %w", s.ID(), err))
+		}
+	}
+	return r
 }
 
 // runScenario executes one grid point. All shared inputs come from
@@ -150,10 +245,17 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 	}
 
 	tk := traceKey{
+		spec:      s.TraceSpec,
 		seed:      s.Seed,
 		vms:       s.VMs,
 		days:      s.HistoryDays + s.EvalDays,
 		churnFrac: s.ChurnFraction,
+	}
+	// File-backed traces ignore the seed unless churn consumes it
+	// (seed+99): normalising the memo key lets a multi-seed grid
+	// share one ingestion and one prediction set per file.
+	if s.ChurnFraction == 0 && !traceUsesSeed(s.TraceSpec) {
+		tk.seed = 0
 	}
 	tp, err := ld.trace(tk)
 	if err != nil {
@@ -189,6 +291,7 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		Platform:    platform.NTCServer(),
 		MaxServers:  s.MaxServers,
 		Transitions: transitions,
+		TraceLabel:  s.TraceSpec,
 	})
 	if err != nil {
 		return fail(err)

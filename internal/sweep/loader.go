@@ -44,8 +44,9 @@ func (m *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
-// traceKey identifies one generated (and optionally churned) trace.
+// traceKey identifies one ingested (and optionally churned) trace.
 type traceKey struct {
+	spec      string
 	seed      int64
 	vms, days int
 	churnFrac float64
@@ -64,12 +65,15 @@ type tracePair struct {
 	affected int
 }
 
-// loader memoizes the two expensive inputs of a run. One loader is
+// loader memoizes the expensive inputs of a run. One loader is
 // shared by all workers of a sweep, so a 24-scenario grid over one
-// trace generates that trace once and fits ARIMA once.
+// trace ingests that trace once and fits ARIMA once; source
+// fingerprints (file content hashes) are likewise computed once per
+// backend spec.
 type loader struct {
 	traces memo[traceKey, tracePair]
 	preds  memo[predKey, *dcsim.PredictionSet]
+	fps    memo[string, string]
 }
 
 // LoadStats reports the loader's sharing: how many distinct inputs
@@ -90,15 +94,60 @@ func (l *loader) stats() LoadStats {
 	}
 }
 
+// sourceFor resolves a backend spec, giving the synthetic backend the
+// sweep's canonical generator shape (DCTraceConfig).
+func sourceFor(spec string) (trace.Source, error) {
+	src, err := trace.ParseSourceSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if syn, ok := src.(trace.SyntheticSource); ok {
+		syn.Configure = func(seed int64, vms, days int) trace.Config {
+			return DCTraceConfig(seed, vms, days)
+		}
+		return syn, nil
+	}
+	return src, nil
+}
+
+// traceUsesSeed reports whether a backend spec consumes the trace
+// seed at load time. File backends ignore it (their content is the
+// file), so scenarios that differ only in seed can share one ingested
+// trace — unless churn applies, which draws from seed+99.
+func traceUsesSeed(spec string) bool {
+	src, err := trace.ParseSourceSpec(spec)
+	if err != nil {
+		return true // invalid specs fail at load; keying precision is moot
+	}
+	_, synthetic := src.(trace.SyntheticSource)
+	return synthetic
+}
+
+// fingerprint returns the memoized content fingerprint of a backend
+// spec — the cache-key ingredient that detects edited trace files.
+func (l *loader) fingerprint(spec string) (string, error) {
+	return l.fps.get(spec, func() (string, error) {
+		src, err := sourceFor(spec)
+		if err != nil {
+			return "", err
+		}
+		return src.Fingerprint()
+	})
+}
+
 // trace returns the (possibly churned) trace for a scenario. Churn
 // derives its seed as trace seed + 99, the convention the churn
 // experiments established, so a churn level is reproducible from the
 // scenario alone.
 func (l *loader) trace(k traceKey) (tracePair, error) {
 	return l.traces.get(k, func() (tracePair, error) {
-		tr, err := trace.Generate(DCTraceConfig(k.seed, k.vms, k.days))
+		src, err := sourceFor(k.spec)
 		if err != nil {
-			return tracePair{}, fmt.Errorf("sweep: generating trace %+v: %w", k, err)
+			return tracePair{}, err
+		}
+		tr, err := src.Load(trace.Request{Seed: k.seed, VMs: k.vms, Days: k.days})
+		if err != nil {
+			return tracePair{}, fmt.Errorf("sweep: loading trace %s: %w", k.spec, err)
 		}
 		affected := 0
 		if k.churnFrac > 0 {

@@ -13,16 +13,16 @@ import (
 // — the determinism tests compare this output verbatim.
 func (r *Results) CSV() string {
 	var b strings.Builder
-	b.WriteString("policy,predictor,transitions,vms,max_servers,eval_days,seed," +
+	b.WriteString("policy,predictor,transitions,trace,vms,max_servers,eval_days,seed," +
 		"static_power_w,churn_fraction,churn_affected_vms,slots," +
 		"total_energy_mj,transition_mj,violations,mean_active,peak_active," +
 		"migrations,mean_planned_freq_ghz,error\n")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		s := run.Scenario
-		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s\n",
 			csvField(s.Policy), csvField(s.Predictor), csvField(s.Transitions),
-			s.VMs, s.MaxServers, s.EvalDays, s.Seed,
+			csvField(s.TraceSpec), s.VMs, s.MaxServers, s.EvalDays, s.Seed,
 			s.StaticPowerW, s.ChurnFraction, run.ChurnAffectedVMs, run.Slots,
 			run.TotalEnergyMJ, run.TransitionMJ, run.Violations, run.MeanActive,
 			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz, csvField(run.Err))
@@ -39,8 +39,10 @@ func csvField(s string) string {
 	return s
 }
 
-// JSON returns the sweep (grid, runs, load stats) as indented JSON.
-// Like CSV, the bytes are independent of worker count.
+// JSON returns the sweep (grid and runs) as indented JSON. Like CSV,
+// the bytes are independent of worker count and cache state:
+// execution metadata (loader and cache statistics, timing) lives in
+// the Summary only.
 func (r *Results) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
@@ -80,6 +82,12 @@ func (r *Results) Summary(w io.Writer) error {
 	fmt.Fprintf(tw, "sweep: %d scenarios, %d workers, %s\n", len(r.Runs), r.Workers, r.Elapsed.Round(1e6))
 	fmt.Fprintf(tw, "inputs: %d traces built for %d requests, %d prediction sets for %d requests\n",
 		r.Load.TraceBuilds, r.Load.TraceRequests, r.Load.PredictBuilds, r.Load.PredictRequests)
+	if c := r.Cache; c.Hits+c.Misses+c.Writes > 0 {
+		fmt.Fprintf(tw, "cache: %d hits, %d misses, %d rows written\n", c.Hits, c.Misses, c.Writes)
+	}
+	if r.CacheErr != nil {
+		fmt.Fprintf(tw, "cache warning: %v\n", r.CacheErr)
+	}
 	fmt.Fprintln(tw, "policy\tscenarios\tmean energy (MJ)\ttotal violations\tmean active\tfailed")
 	for _, p := range order {
 		a := byPolicy[p]

@@ -1,16 +1,28 @@
 // Package sweep is the scenario-sweep engine of the data-center
 // study: it expands a declarative grid (policy × pool size ×
-// static-power × predictor × transition model × churn × seed) into
-// concrete scenarios, shares the expensive inputs (trace generation,
-// prediction sets) across scenarios through a keyed memoizing loader,
-// and executes the runs on a bounded worker pool.
+// static-power × predictor × transition model × churn × seed × trace
+// source) into concrete scenarios, shares the expensive inputs (trace
+// ingestion, prediction sets) across scenarios through a keyed
+// memoizing loader, and executes the runs on a bounded worker pool.
+//
+// Traces come from pluggable ingestion backends (internal/trace
+// Source): the synthetic generator, CSV files in the native tracegen
+// format, or real cluster dumps through the cluster adapter. The
+// trace axis selects a backend per scenario with "backend:ref" specs
+// (e.g. "csv:week.csv"); see docs/TRACES.md.
 //
 // Determinism is a design contract: every scenario derives all of its
 // randomness from its own trace seed (churn uses seed+99, the
 // convention the churn experiments established), no scenario reads
 // another scenario's mutable state, and results are stored by
 // expansion index — so the emitted CSV/JSON is byte-identical
-// whatever the worker count or GOMAXPROCS.
+// whatever the worker count or GOMAXPROCS. Execution metadata
+// (worker count, wall-clock time, loader and cache statistics) is
+// deliberately excluded from both serialisations, which is what lets
+// the incremental result cache (internal/sweep/cache, Options.Cache)
+// replay stored rows byte-for-byte: a fully cached re-run emits
+// output identical to the uncached run while executing zero
+// scenarios. See docs/ARCHITECTURE.md for the full invariants.
 package sweep
 
 import (
@@ -65,6 +77,14 @@ type Grid struct {
 	// ChurnFractions are VM arrival/departure shares applied to the
 	// generated trace (0 = the paper's fixed population).
 	ChurnFractions []float64 `json:"churn_fractions,omitempty"`
+
+	// Traces are ingestion-backend specs ("synthetic", "csv:path",
+	// "cluster:path"); see trace.ParseSourceSpec. Empty means the
+	// synthetic generator. File-backed scenarios still take Seeds
+	// (churn randomness) and VMs/EvalDays (the prefix of the file
+	// they use); the file must hold at least that many VMs and
+	// HistoryDays+EvalDays days.
+	Traces []string `json:"traces,omitempty"`
 }
 
 // Scenario is one fully concrete grid point.
@@ -79,13 +99,19 @@ type Scenario struct {
 	Predictor     string  `json:"predictor"`
 	Transitions   string  `json:"transitions"`
 	ChurnFraction float64 `json:"churn_fraction"`
+
+	// TraceSpec is the ingestion-backend spec the trace came from
+	// ("synthetic", "csv:path", ...).
+	TraceSpec string `json:"trace"`
 }
 
-// ID returns the scenario's canonical key, unique within a grid.
+// ID returns the scenario's canonical key, unique within a grid. It
+// names the spec of every input, but not file contents — result
+// caching combines it with the trace source's content fingerprint.
 func (s Scenario) ID() string {
-	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g",
+	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s",
 		s.Policy, s.VMs, s.MaxServers, s.HistoryDays, s.EvalDays,
-		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction)
+		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec)
 }
 
 // TransitionSpec names a transition-cost model. A nil Model resolves
@@ -250,6 +276,9 @@ func (g Grid) WithDefaults() Grid {
 	if len(g.ChurnFractions) == 0 {
 		g.ChurnFractions = []float64{0}
 	}
+	if len(g.Traces) == 0 {
+		g.Traces = []string{"synthetic"}
+	}
 	return g
 }
 
@@ -299,39 +328,54 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: churn fraction %g outside [0,1]", c)
 		}
 	}
+	seenTrace := map[string]bool{}
+	for _, spec := range g.Traces {
+		if _, err := trace.ParseSourceSpec(spec); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if seenTrace[spec] {
+			return fmt.Errorf("sweep: duplicate trace spec %q", spec)
+		}
+		seenTrace[spec] = true
+	}
 	return nil
 }
 
 // Expand applies defaults, validates, and returns the scenario list.
-// The nesting order (seed, VMs, pool, static power, predictor,
+// The nesting order (trace, seed, VMs, pool, static power, predictor,
 // transitions, churn, policy) keeps policies adjacent — the order the
 // figure adapters group rows in — and is part of the output contract.
+// The trace axis is outermost because its inputs (file ingestion) are
+// the most expensive to share.
 func Expand(g Grid) ([]Scenario, error) {
 	g = g.WithDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	var out []Scenario
-	for _, seed := range g.Seeds {
-		for _, vms := range g.VMs {
-			for _, srv := range g.MaxServers {
-				for _, static := range g.StaticPowerW {
-					for _, pred := range g.Predictors {
-						for _, tr := range g.Transitions {
-							for _, churn := range g.ChurnFractions {
-								for _, pol := range g.Policies {
-									out = append(out, Scenario{
-										Policy:        pol,
-										VMs:           vms,
-										MaxServers:    srv,
-										HistoryDays:   g.HistoryDays,
-										EvalDays:      g.EvalDays,
-										Seed:          seed,
-										StaticPowerW:  static,
-										Predictor:     pred,
-										Transitions:   tr.Name,
-										ChurnFraction: churn,
-									})
+	for _, spec := range g.Traces {
+		for _, seed := range g.Seeds {
+			for _, vms := range g.VMs {
+				for _, srv := range g.MaxServers {
+					for _, static := range g.StaticPowerW {
+						for _, pred := range g.Predictors {
+							for _, tr := range g.Transitions {
+								for _, churn := range g.ChurnFractions {
+									for _, pol := range g.Policies {
+										out = append(out, Scenario{
+											Policy:        pol,
+											VMs:           vms,
+											MaxServers:    srv,
+											HistoryDays:   g.HistoryDays,
+											EvalDays:      g.EvalDays,
+											Seed:          seed,
+											StaticPowerW:  static,
+											Predictor:     pred,
+											Transitions:   tr.Name,
+											ChurnFraction: churn,
+											TraceSpec:     spec,
+										})
+									}
 								}
 							}
 						}

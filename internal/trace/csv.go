@@ -47,7 +47,7 @@ func classFromString(s string) (workload.Class, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("trace: unknown class %q", s)
+	return 0, fmt.Errorf("unknown class %q", s)
 }
 
 // ReadCSV decodes a trace written by WriteCSV. VMs appear in first-seen
@@ -69,27 +69,29 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading row: %w", err)
+			// csv.ParseError already names the offending line.
+			return nil, fmt.Errorf("trace: %w", err)
 		}
+		line, _ := cr.FieldPos(0)
 		id, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad vm_id %q: %w", rec[0], err)
+			return nil, fmt.Errorf("trace: line %d: bad vm_id %q: %w", line, rec[0], err)
 		}
 		class, err := classFromString(rec[1])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		sample, err := strconv.Atoi(rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad sample %q: %w", rec[2], err)
+			return nil, fmt.Errorf("trace: line %d: bad sample %q: %w", line, rec[2], err)
 		}
 		cpu, err := strconv.ParseFloat(rec[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad cpu %q: %w", rec[3], err)
+			return nil, fmt.Errorf("trace: line %d: bad cpu %q: %w", line, rec[3], err)
 		}
 		mem, err := strconv.ParseFloat(rec[4], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad mem %q: %w", rec[4], err)
+			return nil, fmt.Errorf("trace: line %d: bad mem %q: %w", line, rec[4], err)
 		}
 		vm, ok := byID[id]
 		if !ok {
@@ -98,7 +100,8 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			tr.VMs = append(tr.VMs, vm)
 		}
 		if sample != len(vm.CPU) {
-			return nil, fmt.Errorf("trace: VM %d sample %d out of order (have %d)", id, sample, len(vm.CPU))
+			return nil, fmt.Errorf("trace: line %d: VM %d sample %d out of order (have %d)",
+				line, id, sample, len(vm.CPU))
 		}
 		vm.CPU = append(vm.CPU, cpu)
 		vm.Mem = append(vm.Mem, mem)

@@ -16,9 +16,17 @@
 //   - abrupt bursts that cause the mispredictions behind Fig. 4's
 //     SLA violations.
 //
+// Real traces can be ingested too: Source is the pluggable
+// trace-ingestion backend interface ("synthetic", "csv:path",
+// "cluster:path" specs via ParseSourceSpec), covering the generator,
+// files in the native CSV format (WriteCSV/ReadCSV), and real
+// cluster dumps normalised by the cluster adapter (ReadClusterCSV).
+// Formats and normalisation rules are specified in docs/TRACES.md.
+//
 // Conventions: CPU utilisation is percent of one core at the
 // platform's maximum frequency; memory utilisation is percent of the
-// VM's 1 GB container.
+// VM's 1 GB container; one sample every 5 minutes (DefaultInterval),
+// 288 samples per day.
 package trace
 
 import (

@@ -34,6 +34,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/qos"
 	"repro/internal/sweep"
+	"repro/internal/sweep/cache"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -74,6 +75,17 @@ type (
 
 	// TraceConfig parameterises the synthetic Google-style generator.
 	TraceConfig = trace.Config
+
+	// TraceSource is a pluggable trace-ingestion backend (synthetic
+	// generator, native CSV files, cluster-trace dumps).
+	TraceSource = trace.Source
+
+	// SweepCache is the incremental result store of the sweep engine;
+	// open one with OpenSweepCache and pass it in SweepOptions.
+	SweepCache = cache.Store
+
+	// SweepCacheMode selects how a sweep uses the store (off/rw/ro).
+	SweepCacheMode = cache.Mode
 
 	// Predictor forecasts utilisation series (ARIMA and baselines).
 	Predictor = forecast.Predictor
@@ -149,6 +161,19 @@ func MinQoSFrequency(p *Platform, c WorkloadClass) (Frequency, error) {
 
 // GenerateTrace synthesises a Google-cluster-style utilisation trace.
 func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ParseTraceSource parses a trace-ingestion backend spec ("synthetic",
+// "csv:path", "cluster:path") into its Source.
+func ParseTraceSource(spec string) (TraceSource, error) { return trace.ParseSourceSpec(spec) }
+
+// TraceBackends lists the registered trace-ingestion backend names.
+func TraceBackends() []string { return trace.Backends() }
+
+// OpenSweepCache prepares an incremental sweep-result store rooted at
+// dir ("off" returns the nil no-caching store).
+func OpenSweepCache(dir string, mode SweepCacheMode) (*SweepCache, error) {
+	return cache.Open(dir, mode)
+}
 
 // DefaultTraceConfig mirrors the paper's trace shape: 600 VMs, one
 // week at 5-minute samples.
