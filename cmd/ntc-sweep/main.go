@@ -16,6 +16,13 @@
 //	ntc-sweep -trace csv:week.csv -vms 200 -days 2 -history 2
 //	ntc-sweep -grid grid.json -cache rw -cache-dir .sweep-cache
 //
+// Datacenter topologies come from fleet specs via -topology
+// ("single", "[dispatcher@]builtin", "[dispatcher@]fleet.json"; see
+// docs/TOPOLOGY.md): each scenario's VMs are dispatched across the
+// fleet's datacenters and every datacenter simulates independently.
+//
+//	ntc-sweep -topology single,uniform@triad,greedy-proportional@triad -days 2
+//
 // The CSV/JSON output is byte-identical for any -workers value and
 // any cache state: the engine seeds every scenario deterministically,
 // orders results by grid expansion, and keeps execution metadata
@@ -32,6 +39,7 @@ import (
 
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -61,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		transitions = fs.String("transitions", "none", "comma-separated transition models ("+strings.Join(sweep.TransitionNames(), ", ")+")")
 		churn       = fs.String("churn", "0", "comma-separated churn fractions in [0,1]")
 		traces      = fs.String("trace", "synthetic", "comma-separated trace backends ("+strings.Join(trace.Backends(), ", ")+"), e.g. synthetic,csv:week.csv")
+		topologies  = fs.String("topology", "single", "comma-separated fleet topologies ([dispatcher@]builtin or [dispatcher@]fleet.json; dispatchers: "+strings.Join(topology.DispatcherNames(), ", ")+"), e.g. single,greedy-proportional@triad")
 		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cacheMode   = fs.String("cache", "off", "incremental result cache: off, rw (read+write), ro (read-only)")
 		cacheDir    = fs.String("cache-dir", "", "result-cache directory (required unless -cache off)")
@@ -92,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		axisFlags := map[string]bool{
 			"policies": true, "vms": true, "max-servers": true, "days": true,
 			"history": true, "seeds": true, "static": true, "predictors": true,
-			"transitions": true, "churn": true, "trace": true,
+			"transitions": true, "churn": true, "trace": true, "topology": true,
 		}
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
@@ -113,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		var err error
 		if g, err = gridFromFlags(*policies, *vms, *maxServers, *seeds, *static,
-			*predictors, *transitions, *churn, *traces, *days, *history); err != nil {
+			*predictors, *transitions, *churn, *traces, *topologies, *days, *history); err != nil {
 			return err
 		}
 	}
@@ -168,11 +177,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.
-func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces string, days, history int) (sweep.Grid, error) {
+func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces, topologies string, days, history int) (sweep.Grid, error) {
 	g := sweep.Grid{
 		Policies:    splitList(policies),
 		Predictors:  splitList(predictors),
 		Traces:      splitList(traces),
+		Topologies:  splitList(topologies),
 		EvalDays:    days,
 		HistoryDays: history,
 	}

@@ -105,10 +105,13 @@ func TestCSVTraceAxisGolden(t *testing.T) {
 		t.Fatalf("got %d CSV lines, want 3 (header + EPACT + COAT):\n%s", len(lines), outputs[0])
 	}
 	// Golden rows, pinned (trace column carries the temp path, so
-	// compare around it).
+	// compare around it). The metric columns are unchanged since the
+	// topology axis landed — the default "single" topology reproduces
+	// the plain simulation bit-for-bit; only the provenance columns
+	// (topology, dc_count, ep_score, per_dc) were appended.
 	golden := []struct{ prefix, suffix string }{
-		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,"},
-		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,"},
+		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,single,1,0.482606,,"},
+		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,single,1,0.231086,,"},
 	}
 	for i, want := range golden {
 		row := lines[i+1]
@@ -117,6 +120,71 @@ func TestCSVTraceAxisGolden(t *testing.T) {
 		}
 		if !strings.HasSuffix(row, want.suffix) {
 			t.Errorf("row %d = %q, want suffix %q", i+1, row, want.suffix)
+		}
+	}
+}
+
+// TestFleetSweepGoldenDeterministicAndCached is the multi-datacenter
+// acceptance check: a fleet sweep over the 3-heterogeneous-DC triad
+// under all three dispatch policies runs via -topology, is
+// byte-deterministic across worker counts, answers a warm re-run
+// entirely from the cache (0 executions), and matches the golden rows
+// below. The rows pin the fleet-scale headline: consolidating the
+// fleet onto its most energy-proportional site (greedy-proportional)
+// beats uniform spreading, while chasing latency (follow-the-load)
+// pushes load onto the conventional edge site and costs the most.
+func TestFleetSweepGoldenDeterministicAndCached(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := []string{
+		"-policies", "EPACT,COAT",
+		"-vms", "48",
+		"-max-servers", "48",
+		"-days", "1",
+		"-predictors", "oracle",
+		"-topology", "uniform@triad,greedy-proportional@triad,follow-the-load@triad",
+		"-cache", "rw",
+		"-cache-dir", cacheDir,
+	}
+
+	var outputs []string
+	var lastErr string
+	for _, workers := range []string{"1", "4", "8"} {
+		var stdout, stderr bytes.Buffer
+		if err := run(append(args, "-workers", workers), &stdout, &stderr); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+		lastErr = stderr.String()
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("worker counts disagree on a fleet sweep:\n%s\nvs\n%s\nvs\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+	// The second and third runs were warm: every scenario came from
+	// the store, nothing executed, nothing was ingested.
+	if !strings.Contains(lastErr, "cache: 6 hits, 0 misses, 0 rows written") {
+		t.Errorf("warm fleet re-run executed scenarios:\n%s", lastErr)
+	}
+	if !strings.Contains(lastErr, "0 traces built for 0 requests") {
+		t.Errorf("warm fleet re-run ingested inputs:\n%s", lastErr)
+	}
+
+	golden := []string{
+		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,error",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,22.115386,0.000000,0,3.708333,5,0,1.887500,greedy-proportional@triad,3,0.295219,core=22.115;metro=0.000;edge=0.000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,38.874682,0.000000,0,2.541667,3,0,3.100000,greedy-proportional@triad,3,0.275486,core=38.875;metro=0.000;edge=0.000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,79.073546,0.000000,0,6.166667,7,0,1.820660,follow-the-load@triad,3,0.321275,core=4.377;metro=7.586;edge=67.110,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,93.818028,0.000000,0,5.666667,6,0,2.706250,follow-the-load@triad,3,0.203881,core=10.566;metro=15.361;edge=67.891,",
+	}
+	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
+	if len(lines) != len(golden) {
+		t.Fatalf("got %d CSV lines, want %d:\n%s", len(lines), len(golden), outputs[0])
+	}
+	for i, want := range golden {
+		if lines[i] != want {
+			t.Errorf("line %d drifted:\ngot  %s\nwant %s", i, lines[i], want)
 		}
 	}
 }
@@ -250,6 +318,9 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		{"unknown-transitions", []string{"-transitions", "expensive"}, "unknown transition model"},
 		{"unknown-trace-backend", []string{"-trace", "bogus:x"}, `unknown trace backend "bogus"`},
 		{"csv-trace-without-path", []string{"-trace", "csv"}, "needs a file path"},
+		{"unknown-topology", []string{"-topology", "bogus"}, `unknown fleet "bogus"`},
+		{"unknown-dispatcher", []string{"-topology", "warp@triad"}, `unknown dispatcher "warp"`},
+		{"grid-plus-topology-flag", []string{"-grid", "g.json", "-topology", "triad"}, "mutually exclusive"},
 		{"non-numeric-vms", []string{"-vms", "forty"}, "-vms"},
 		{"negative-vms", []string{"-vms", "-3"}, "VMs must be positive"},
 		{"churn-out-of-range", []string{"-churn", "1.5"}, "churn fraction"},

@@ -51,6 +51,30 @@ func ExamplePlatform_execTime() {
 	// high-mem: 6.765 s
 }
 
+// A fleet topology composes heterogeneous datacenters behind a
+// cross-DC dispatch policy; the builtin "triad" mixes an NTC core
+// site, a heavier-static metro site and a conventional edge site.
+// Relative datacenters (Servers 0) are sized from the scenario's
+// fleet-wide pool at run time — Resolve(600) splits 600 servers by
+// share.
+func ExampleParseTopology() {
+	fleet, err := ntcdc.ParseTopology("greedy-proportional@triad")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s via %s dispatch:\n", fleet.Name, fleet.Dispatcher)
+	for _, dc := range fleet.Resolve(600).DCs {
+		fmt.Printf("  %s: %d servers, PUE %.2f, %.0f ms\n",
+			dc.Name, dc.Servers, dc.PUE, dc.LatencyMs)
+	}
+	// Output:
+	// triad via greedy-proportional dispatch:
+	//   core: 300 servers, PUE 1.12, 40 ms
+	//   metro: 180 servers, PUE 1.25, 15 ms
+	//   edge: 120 servers, PUE 1.50, 5 ms
+}
+
 // Body bias is the FD-SOI-specific knob: reverse bias slashes leakage
 // for parked servers.
 func ExampleWithBodyBias() {

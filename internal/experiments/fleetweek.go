@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sweep"
+	"repro/internal/topology"
+)
+
+// FleetWeek extends the paper's consolidate-or-spread question to a
+// fleet of datacenters: the same week runs under every combination of
+// cross-DC dispatch policy (where the VMs go) and per-DC allocation
+// policy (how each DC packs them), on one heterogeneous fleet. It is
+// the two-level analogue of Figs. 4-6 — global dispatch interacts
+// with local consolidation the way subsystem power management
+// interacts with node-level proportionality.
+
+// FleetWeekRow is one (dispatcher, policy) combination's week.
+type FleetWeekRow struct {
+	// Dispatcher is the cross-DC dispatch policy.
+	Dispatcher string
+
+	// Policy is the per-DC allocation policy.
+	Policy string
+
+	// EnergyMJ is the fleet facility energy (per-DC IT energy × PUE).
+	EnergyMJ float64
+
+	// EPScore is the realized fleet energy-proportionality
+	// (topology.SeriesEPScore over the fleet's slot energies).
+	EPScore float64
+
+	Violations int
+	Migrations int
+	MeanActive float64
+
+	// PerDC carries the per-datacenter provenance, fleet spec order.
+	PerDC []sweep.DCResult
+}
+
+// FleetWeekConfig parameterises the fleet comparison.
+type FleetWeekConfig struct {
+	// DC is the per-datacenter scale and predictor setup; MaxServers
+	// is the fleet-wide pool the fleet's shares split.
+	DC DCConfig
+
+	// Fleet is the fleet ref: a builtin name ("triad") or a
+	// fleet-file path. Empty means "triad".
+	Fleet string
+
+	// Dispatchers are the cross-DC policies to compare; empty means
+	// all of them (topology.DispatcherNames).
+	Dispatchers []string
+
+	// Policies are the per-DC allocation policies; empty means the
+	// consolidate-vs-spread pair EPACT and COAT.
+	Policies []string
+}
+
+// FleetWeek runs the fleet-scale consolidation study as a thin
+// adapter over the sweep engine: one grid whose topology axis is the
+// fleet under each dispatcher. The trace and prediction set are
+// ingested and fitted once and shared across every combination.
+func FleetWeek(cfg FleetWeekConfig) ([]FleetWeekRow, error) {
+	if cfg.Fleet == "" {
+		cfg.Fleet = "triad"
+	}
+	if len(cfg.Dispatchers) == 0 {
+		cfg.Dispatchers = topology.DispatcherNames()
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []string{"EPACT", "COAT"}
+	}
+	g := weekGrid(cfg.DC, cfg.Policies)
+	for _, d := range cfg.Dispatchers {
+		g.Topologies = append(g.Topologies, d+"@"+cfg.Fleet)
+	}
+	runs, err := runGrid(g)
+	if err != nil {
+		return nil, err
+	}
+	// Expansion nests topologies outside policies: runs arrive as
+	// (dispatcher, policy) in the requested order.
+	if len(runs) != len(cfg.Dispatchers)*len(cfg.Policies) {
+		return nil, fmt.Errorf("experiments: fleet week produced %d runs, want %d",
+			len(runs), len(cfg.Dispatchers)*len(cfg.Policies))
+	}
+	rows := make([]FleetWeekRow, 0, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		rows = append(rows, FleetWeekRow{
+			Dispatcher: cfg.Dispatchers[i/len(cfg.Policies)],
+			Policy:     r.Scenario.Policy,
+			EnergyMJ:   r.TotalEnergyMJ,
+			EPScore:    r.EPScore,
+			Violations: r.Violations,
+			Migrations: r.Migrations,
+			MeanActive: r.MeanActive,
+			PerDC:      r.PerDC,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// fleetTestConfig is the reduced-scale fleet week: the same shape the
+// CLI golden test pins (48 VMs, 1 evaluated day, oracle predictions,
+// triad fleet), so the two goldens cross-check each other.
+func fleetTestConfig() FleetWeekConfig {
+	return FleetWeekConfig{
+		DC: DCConfig{
+			VMs:        48,
+			EvalDays:   1,
+			Seed:       2018,
+			UseARIMA:   false,
+			MaxServers: 48,
+		},
+	}
+}
+
+func TestFleetWeekGolden(t *testing.T) {
+	rows, err := FleetWeek(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 dispatchers × 2 policies)", len(rows))
+	}
+
+	// Golden fleet energies (MJ), pinned alongside the paper-figure
+	// goldens; they match cmd/ntc-sweep's fleet golden rows.
+	want := []struct {
+		dispatcher, policy string
+		energyMJ           float64
+	}{
+		{"uniform", "EPACT", 47.798861},
+		{"uniform", "COAT", 68.204271},
+		{"greedy-proportional", "EPACT", 22.115386},
+		{"greedy-proportional", "COAT", 38.874682},
+		{"follow-the-load", "EPACT", 79.073546},
+		{"follow-the-load", "COAT", 93.818028},
+	}
+	byKey := map[string]FleetWeekRow{}
+	for _, r := range rows {
+		byKey[r.Dispatcher+"/"+r.Policy] = r
+	}
+	for _, w := range want {
+		r, ok := byKey[w.dispatcher+"/"+w.policy]
+		if !ok {
+			t.Errorf("missing row %s/%s", w.dispatcher, w.policy)
+			continue
+		}
+		if math.Abs(r.EnergyMJ-w.energyMJ) > 1e-4 {
+			t.Errorf("%s/%s energy = %.6f MJ, want %.6f", w.dispatcher, w.policy, r.EnergyMJ, w.energyMJ)
+		}
+		if len(r.PerDC) != 3 {
+			t.Errorf("%s/%s has %d per-DC rows, want 3", w.dispatcher, w.policy, len(r.PerDC))
+		}
+		if r.EPScore <= 0 || r.EPScore > 1 {
+			t.Errorf("%s/%s EP score %v outside (0,1]", w.dispatcher, w.policy, r.EPScore)
+		}
+	}
+
+	// The fleet-scale headline: consolidating the fleet onto its most
+	// energy-proportional datacenter beats spreading uniformly, for
+	// both per-DC policies.
+	for _, pol := range []string{"EPACT", "COAT"} {
+		greedy := byKey["greedy-proportional/"+pol].EnergyMJ
+		uniform := byKey["uniform/"+pol].EnergyMJ
+		if greedy >= uniform {
+			t.Errorf("%s: greedy-proportional (%.1f MJ) should beat uniform (%.1f MJ) on the triad",
+				pol, greedy, uniform)
+		}
+	}
+}
+
+func TestFleetWeekHonoursExplicitAxes(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.Dispatchers = []string{"uniform"}
+	cfg.Policies = []string{"FFD"}
+	rows, err := FleetWeek(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Dispatcher != "uniform" || rows[0].Policy != "FFD" {
+		t.Fatalf("rows = %+v, want one uniform/FFD row", rows)
+	}
+
+	cfg.Fleet = "bogus"
+	if _, err := FleetWeek(cfg); err == nil {
+		t.Error("unknown fleet ref did not error")
+	}
+}

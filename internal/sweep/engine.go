@@ -7,9 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/dcsim"
-	"repro/internal/platform"
+	"repro/internal/power"
 	"repro/internal/sweep/cache"
+	"repro/internal/topology"
 )
 
 // resultSchemaVersion salts every cache key. Bump it whenever the
@@ -17,7 +19,10 @@ import (
 // changing — model constants, simulator semantics, the CSV/JSON
 // field set — so stale stores invalidate wholesale instead of
 // replaying rows the current code would not produce.
-const resultSchemaVersion = "sweep-result-v1"
+//
+// v2: the topology axis added per-DC provenance (topology, dc_count,
+// ep_score, per_dc columns) to every row.
+const resultSchemaVersion = "sweep-result-v2"
 
 // Options tunes one sweep execution. The zero value runs on
 // GOMAXPROCS workers with no progress reporting and no caching.
@@ -61,6 +66,19 @@ type RunResult struct {
 	MeanPlannedFreqGHz float64 `json:"mean_planned_freq_ghz"`
 	Slots              int     `json:"slots"`
 
+	// DCCount is how many datacenters the scenario's fleet composed
+	// (1 for the default "single" topology). On multi-DC rows the
+	// energy fields above are fleet facility energies (IT × PUE).
+	DCCount int `json:"dc_count"`
+
+	// EPScore is the realized energy-proportionality of the fleet's
+	// per-slot energy series (topology.SeriesEPScore).
+	EPScore float64 `json:"ep_score"`
+
+	// PerDC carries per-datacenter provenance for multi-DC rows
+	// (fleet spec order); empty on single-topology rows.
+	PerDC []DCResult `json:"per_dc,omitempty"`
+
 	// Err is the scenario's failure, if any; other fields are zero.
 	Err string `json:"error,omitempty"`
 
@@ -68,10 +86,28 @@ type RunResult struct {
 	// is execution metadata, excluded from CSV/JSON like Workers.
 	Cached bool `json:"-"`
 
-	// Run is the full simulation result (nil on error and on cache
-	// hits). It is not serialised; use the CSV/JSON aggregates for
-	// persistence.
+	// Run is the full simulation result (nil on error, on cache
+	// hits, and on multi-DC rows — use Fleet there). It is not
+	// serialised; use the CSV/JSON aggregates for persistence.
 	Run *dcsim.Result `json:"-"`
+
+	// Fleet is the full fleet result (nil on error and cache hits).
+	// Like Run it is in-memory only, for adapters that need series.
+	Fleet *topology.FleetResult `json:"-"`
+}
+
+// DCResult is one datacenter's slice of a fleet scenario — the
+// provenance that says where the fleet aggregates came from.
+type DCResult struct {
+	Name       string  `json:"name"`
+	VMs        int     `json:"vms"`
+	Servers    int     `json:"servers"`
+	EnergyMJ   float64 `json:"energy_mj"` // facility energy (IT × PUE)
+	Violations int     `json:"violations"`
+	MeanActive float64 `json:"mean_active"`
+	PeakActive int     `json:"peak_active"`
+	Migrations int     `json:"migrations"`
+	EPScore    float64 `json:"ep_score"`
 }
 
 // Results is a completed sweep.
@@ -179,13 +215,25 @@ func Run(g Grid, opt Options) (*Results, error) {
 
 // scenarioCacheKey addresses one scenario's result row: the scenario
 // identity, the trace source's content fingerprint (so edited trace
-// files re-execute), the resolved transition model (custom models
-// live in the grid, not the scenario name), and the result schema
-// version. ok=false means the scenario is uncacheable right now
-// (e.g. an unreadable trace file); it then executes normally and
+// files re-execute), the topology fingerprint (so edited fleet files
+// re-execute), the resolved transition model (custom models live in
+// the grid, not the scenario name), and the result schema version.
+// ok=false means the scenario is uncacheable right now (e.g. an
+// unreadable trace or fleet file); it then executes normally and
 // fails with the canonical ingestion error.
 func scenarioCacheKey(ld *loader, g Grid, s Scenario) (string, bool) {
+	return scenarioCacheKeyVersioned(ld, g, s, resultSchemaVersion)
+}
+
+// scenarioCacheKeyVersioned is scenarioCacheKey with an explicit
+// schema version, split out so tests can prove that rows stored under
+// a stale version are ignored.
+func scenarioCacheKeyVersioned(ld *loader, g Grid, s Scenario, version string) (string, bool) {
 	fp, err := ld.fingerprint(s.TraceSpec)
+	if err != nil {
+		return "", false
+	}
+	topoFP, err := ld.topologyFingerprint(s.Topology)
 	if err != nil {
 		return "", false
 	}
@@ -197,7 +245,7 @@ func scenarioCacheKey(ld *loader, g Grid, s Scenario) (string, bool) {
 	if err != nil {
 		return "", false
 	}
-	return cache.Key(resultSchemaVersion, s.ID(), fp, string(tj)), true
+	return cache.Key(version, s.ID(), fp, topoFP, string(tj)), true
 }
 
 // cachedScenario answers one grid point from the result store when it
@@ -271,8 +319,7 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		return fail(err)
 	}
 
-	model := ServerModel(s.StaticPowerW)
-	pol, err := newPolicy(s.Policy, model)
+	fleet, err := ld.fleet(s.Topology)
 	if err != nil {
 		return fail(err)
 	}
@@ -281,15 +328,20 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		return fail(err)
 	}
 
-	res, err := dcsim.Run(dcsim.Config{
-		Trace:       tp.tr,
-		Predictions: ps,
-		HistoryDays: s.HistoryDays,
-		EvalDays:    s.EvalDays,
-		Policy:      pol,
-		Server:      model,
-		Platform:    platform.NTCServer(),
-		MaxServers:  s.MaxServers,
+	// Every scenario runs through the fleet runner; the default
+	// "single" topology is the identity (one DC, PUE 1, the whole
+	// pool), so its rows match the plain simulation bit-for-bit.
+	fres, err := topology.Run(topology.Config{
+		Fleet:        fleet,
+		Trace:        tp.tr,
+		Predictions:  ps,
+		HistoryDays:  s.HistoryDays,
+		EvalDays:     s.EvalDays,
+		MaxServers:   s.MaxServers,
+		StaticPowerW: s.StaticPowerW,
+		NewPolicy: func(m *power.ServerModel) (alloc.Policy, error) {
+			return newPolicy(s.Policy, m)
+		},
 		Transitions: transitions,
 		TraceLabel:  s.TraceSpec,
 	})
@@ -297,16 +349,37 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		return fail(err)
 	}
 
-	out.PredictorImpl = res.Predictor
+	out.PredictorImpl = ps.Predictor
 	out.ChurnAffectedVMs = tp.affected
-	out.TotalEnergyMJ = res.TotalEnergy.MJ()
-	out.TransitionMJ = res.TotalTransitionEnergy.MJ()
-	out.Violations = res.TotalViol
-	out.MeanActive = res.MeanActive
-	out.PeakActive = res.PeakActive
-	out.Migrations = res.TotalMigrations
-	out.Slots = len(res.Slots)
-	out.MeanPlannedFreqGHz = res.MeanPlannedFreqGHz()
-	out.Run = res
+	out.TotalEnergyMJ = fres.TotalEnergyMJ
+	out.TransitionMJ = fres.TransitionMJ
+	out.Violations = fres.Violations
+	out.MeanActive = fres.MeanActive
+	out.PeakActive = fres.PeakActive
+	out.Migrations = fres.Migrations
+	out.Slots = fres.Slots
+	out.MeanPlannedFreqGHz = fres.MeanPlannedFreqGHz
+	out.DCCount = len(fres.DCs)
+	out.EPScore = fres.EPScore
+	out.Fleet = fres
+	if len(fres.DCs) == 1 {
+		out.Run = fres.DCs[0].Result
+	} else {
+		// Multi-DC provenance: which datacenter contributed what.
+		out.PerDC = make([]DCResult, len(fres.DCs))
+		for i, dc := range fres.DCs {
+			out.PerDC[i] = DCResult{
+				Name:       dc.Spec.Name,
+				VMs:        dc.VMs,
+				Servers:    dc.Spec.Servers,
+				EnergyMJ:   dc.EnergyMJ,
+				Violations: dc.Violations,
+				MeanActive: dc.MeanActive,
+				PeakActive: dc.PeakActive,
+				Migrations: dc.Migrations,
+				EPScore:    dc.EPScore,
+			}
+		}
+	}
 	return out
 }

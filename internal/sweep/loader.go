@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dcsim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -68,12 +69,15 @@ type tracePair struct {
 // loader memoizes the expensive inputs of a run. One loader is
 // shared by all workers of a sweep, so a 24-scenario grid over one
 // trace ingests that trace once and fits ARIMA once; source
-// fingerprints (file content hashes) are likewise computed once per
-// backend spec.
+// fingerprints (file content hashes), fleet definitions (topology
+// files parsed and validated once per spec) and their fingerprints
+// are likewise computed once.
 type loader struct {
-	traces memo[traceKey, tracePair]
-	preds  memo[predKey, *dcsim.PredictionSet]
-	fps    memo[string, string]
+	traces  memo[traceKey, tracePair]
+	preds   memo[predKey, *dcsim.PredictionSet]
+	fps     memo[string, string]
+	fleets  memo[string, topology.Fleet]
+	topoFPs memo[string, string]
 }
 
 // LoadStats reports the loader's sharing: how many distinct inputs
@@ -132,6 +136,38 @@ func (l *loader) fingerprint(spec string) (string, error) {
 			return "", err
 		}
 		return src.Fingerprint()
+	})
+}
+
+// fleet returns the memoized datacenter fleet for a topology spec:
+// builtin fleets are materialised once, fleet files are read,
+// parsed and validated once per sweep however many scenarios share
+// them. The returned fleet is unresolved (relative DCs keep Servers
+// 0) — scenarios resolve it against their own MaxServers.
+func (l *loader) fleet(spec string) (topology.Fleet, error) {
+	return l.fleets.get(spec, func() (topology.Fleet, error) {
+		s, err := topology.ParseSpec(spec)
+		if err != nil {
+			return topology.Fleet{}, fmt.Errorf("sweep: %w", err)
+		}
+		f, err := s.Load()
+		if err != nil {
+			return topology.Fleet{}, fmt.Errorf("sweep: loading topology %s: %w", spec, err)
+		}
+		return f, nil
+	})
+}
+
+// topologyFingerprint returns the memoized content fingerprint of a
+// topology spec — like trace fingerprints, it detects edited fleet
+// files so cached results invalidate.
+func (l *loader) topologyFingerprint(spec string) (string, error) {
+	return l.topoFPs.get(spec, func() (string, error) {
+		s, err := topology.ParseSpec(spec)
+		if err != nil {
+			return "", err
+		}
+		return s.Fingerprint()
 	})
 }
 

@@ -16,18 +16,35 @@ func (r *Results) CSV() string {
 	b.WriteString("policy,predictor,transitions,trace,vms,max_servers,eval_days,seed," +
 		"static_power_w,churn_fraction,churn_affected_vms,slots," +
 		"total_energy_mj,transition_mj,violations,mean_active,peak_active," +
-		"migrations,mean_planned_freq_ghz,error\n")
+		"migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,error\n")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		s := run.Scenario
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s,%d,%.6f,%s,%s\n",
 			csvField(s.Policy), csvField(s.Predictor), csvField(s.Transitions),
 			csvField(s.TraceSpec), s.VMs, s.MaxServers, s.EvalDays, s.Seed,
 			s.StaticPowerW, s.ChurnFraction, run.ChurnAffectedVMs, run.Slots,
 			run.TotalEnergyMJ, run.TransitionMJ, run.Violations, run.MeanActive,
-			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz, csvField(run.Err))
+			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz,
+			csvField(s.Topology), run.DCCount, run.EPScore,
+			csvField(perDCField(run.PerDC)), csvField(run.Err))
 	}
 	return b.String()
+}
+
+// perDCField compacts the per-datacenter provenance of a fleet row
+// into one CSV cell: "name=facilityMJ" pairs in fleet order,
+// semicolon-separated. Single-topology rows leave it empty — the flat
+// columns already are the one DC. Full per-DC detail lives in JSON.
+func perDCField(dcs []DCResult) string {
+	if len(dcs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(dcs))
+	for i, dc := range dcs {
+		parts[i] = fmt.Sprintf("%s=%.3f", dc.Name, dc.EnergyMJ)
+	}
+	return strings.Join(parts, ";")
 }
 
 // csvField quotes a free-text field (error messages, user-supplied

@@ -1,15 +1,24 @@
 // Package sweep is the scenario-sweep engine of the data-center
 // study: it expands a declarative grid (policy × pool size ×
 // static-power × predictor × transition model × churn × seed × trace
-// source) into concrete scenarios, shares the expensive inputs (trace
-// ingestion, prediction sets) across scenarios through a keyed
-// memoizing loader, and executes the runs on a bounded worker pool.
+// source × datacenter topology) into concrete scenarios, shares the
+// expensive inputs (trace ingestion, prediction sets, fleet
+// definitions) across scenarios through a keyed memoizing loader, and
+// executes the runs on a bounded worker pool.
 //
 // Traces come from pluggable ingestion backends (internal/trace
 // Source): the synthetic generator, CSV files in the native tracegen
 // format, or real cluster dumps through the cluster adapter. The
 // trace axis selects a backend per scenario with "backend:ref" specs
 // (e.g. "csv:week.csv"); see docs/TRACES.md.
+//
+// The topology axis (internal/topology) selects the datacenter fleet
+// a scenario runs on with "[dispatcher@]fleet" specs (e.g.
+// "greedy-proportional@triad" or "uniform@fleet.json"); every
+// scenario — including the default "single" topology — executes
+// through the fleet runner, which dispatches the trace's VMs across
+// the fleet's datacenters and reuses the dcsim simulator unchanged
+// per DC. See docs/TOPOLOGY.md.
 //
 // Determinism is a design contract: every scenario derives all of its
 // randomness from its own trace seed (churn uses seed+99, the
@@ -35,6 +44,7 @@ import (
 	"repro/internal/dcsim"
 	"repro/internal/forecast"
 	"repro/internal/power"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -85,6 +95,14 @@ type Grid struct {
 	// they use); the file must hold at least that many VMs and
 	// HistoryDays+EvalDays days.
 	Traces []string `json:"traces,omitempty"`
+
+	// Topologies are datacenter-fleet specs ("single",
+	// "greedy-proportional@triad", "uniform@fleet.json"); see
+	// topology.ParseSpec. Empty means the degenerate single-DC fleet,
+	// which reproduces the plain simulation exactly. MaxServers is
+	// the fleet-wide pool: relative fleets split it across their DCs
+	// by share.
+	Topologies []string `json:"topologies,omitempty"`
 }
 
 // Scenario is one fully concrete grid point.
@@ -103,15 +121,19 @@ type Scenario struct {
 	// TraceSpec is the ingestion-backend spec the trace came from
 	// ("synthetic", "csv:path", ...).
 	TraceSpec string `json:"trace"`
+
+	// Topology is the datacenter-fleet spec the scenario ran on
+	// ("single", "greedy-proportional@triad", ...).
+	Topology string `json:"topology"`
 }
 
 // ID returns the scenario's canonical key, unique within a grid. It
 // names the spec of every input, but not file contents — result
 // caching combines it with the trace source's content fingerprint.
 func (s Scenario) ID() string {
-	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s",
+	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s topo=%s",
 		s.Policy, s.VMs, s.MaxServers, s.HistoryDays, s.EvalDays,
-		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec)
+		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec, s.Topology)
 }
 
 // TransitionSpec names a transition-cost model. A nil Model resolves
@@ -279,6 +301,9 @@ func (g Grid) WithDefaults() Grid {
 	if len(g.Traces) == 0 {
 		g.Traces = []string{"synthetic"}
 	}
+	if len(g.Topologies) == 0 {
+		g.Topologies = []string{"single"}
+	}
 	return g
 }
 
@@ -338,15 +363,27 @@ func (g Grid) Validate() error {
 		}
 		seenTrace[spec] = true
 	}
+	seenTopo := map[string]bool{}
+	for _, spec := range g.Topologies {
+		if _, err := topology.ParseSpec(spec); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if seenTopo[spec] {
+			return fmt.Errorf("sweep: duplicate topology spec %q", spec)
+		}
+		seenTopo[spec] = true
+	}
 	return nil
 }
 
 // Expand applies defaults, validates, and returns the scenario list.
-// The nesting order (trace, seed, VMs, pool, static power, predictor,
-// transitions, churn, policy) keeps policies adjacent — the order the
-// figure adapters group rows in — and is part of the output contract.
-// The trace axis is outermost because its inputs (file ingestion) are
-// the most expensive to share.
+// The nesting order (trace, topology, seed, VMs, pool, static power,
+// predictor, transitions, churn, policy) keeps policies adjacent —
+// the order the figure adapters group rows in — and is part of the
+// output contract. The trace axis is outermost because its inputs
+// (file ingestion) are the most expensive to share; topology comes
+// next so all of a fleet's scenarios reuse one trace and one
+// prediction set.
 func Expand(g Grid) ([]Scenario, error) {
 	g = g.WithDefaults()
 	if err := g.Validate(); err != nil {
@@ -354,27 +391,30 @@ func Expand(g Grid) ([]Scenario, error) {
 	}
 	var out []Scenario
 	for _, spec := range g.Traces {
-		for _, seed := range g.Seeds {
-			for _, vms := range g.VMs {
-				for _, srv := range g.MaxServers {
-					for _, static := range g.StaticPowerW {
-						for _, pred := range g.Predictors {
-							for _, tr := range g.Transitions {
-								for _, churn := range g.ChurnFractions {
-									for _, pol := range g.Policies {
-										out = append(out, Scenario{
-											Policy:        pol,
-											VMs:           vms,
-											MaxServers:    srv,
-											HistoryDays:   g.HistoryDays,
-											EvalDays:      g.EvalDays,
-											Seed:          seed,
-											StaticPowerW:  static,
-											Predictor:     pred,
-											Transitions:   tr.Name,
-											ChurnFraction: churn,
-											TraceSpec:     spec,
-										})
+		for _, topo := range g.Topologies {
+			for _, seed := range g.Seeds {
+				for _, vms := range g.VMs {
+					for _, srv := range g.MaxServers {
+						for _, static := range g.StaticPowerW {
+							for _, pred := range g.Predictors {
+								for _, tr := range g.Transitions {
+									for _, churn := range g.ChurnFractions {
+										for _, pol := range g.Policies {
+											out = append(out, Scenario{
+												Policy:        pol,
+												VMs:           vms,
+												MaxServers:    srv,
+												HistoryDays:   g.HistoryDays,
+												EvalDays:      g.EvalDays,
+												Seed:          seed,
+												StaticPowerW:  static,
+												Predictor:     pred,
+												Transitions:   tr.Name,
+												ChurnFraction: churn,
+												TraceSpec:     spec,
+												Topology:      topo,
+											})
+										}
 									}
 								}
 							}

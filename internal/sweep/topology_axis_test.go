@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep/cache"
+)
+
+// topologyGrid sweeps 2 policies × 3 topologies (single + triad under
+// two dispatchers) at test scale — the ≥3-heterogeneous-DCs,
+// ≥2-dispatchers acceptance shape.
+func topologyGrid() Grid {
+	return Grid{
+		Policies:   []string{"EPACT", "COAT"},
+		VMs:        []int{48},
+		MaxServers: []int{48},
+		EvalDays:   1,
+		Seeds:      []int64{2018},
+		Predictors: []string{"oracle"},
+		Topologies: []string{"single", "uniform@triad", "greedy-proportional@triad"},
+	}
+}
+
+// TestTopologyAxisDeterminism extends the engine's worker-count
+// contract to the topology axis: fleet dispatch, per-DC simulation
+// and aggregation must be byte-identical for any worker count.
+func TestTopologyAxisDeterminism(t *testing.T) {
+	var baseCSV string
+	var baseJSON []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Run(topologyGrid(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Runs) != 6 {
+			t.Fatalf("workers=%d: %d runs, want 6 (3 topologies × 2 policies)", workers, len(res.Runs))
+		}
+		csv := res.CSV()
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			baseCSV, baseJSON = csv, js
+			continue
+		}
+		if csv != baseCSV {
+			t.Errorf("workers=%d: CSV differs from workers=1:\n%s\nvs\n%s", workers, csv, baseCSV)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("workers=%d: JSON differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTopologyRowsCarryPerDCProvenance checks the fleet rows: DC
+// counts, per-DC provenance summing to the flat aggregates, and the
+// single rows staying identical to a topology-free sweep.
+func TestTopologyRowsCarryPerDCProvenance(t *testing.T) {
+	res, err := Run(topologyGrid(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.Scenario.Topology == "single" {
+			if run.DCCount != 1 || len(run.PerDC) != 0 {
+				t.Errorf("single row %d: DCCount=%d PerDC=%d, want 1 and none", i, run.DCCount, len(run.PerDC))
+			}
+			continue
+		}
+		if run.DCCount != 3 || len(run.PerDC) != 3 {
+			t.Errorf("fleet row %d: DCCount=%d PerDC=%d, want 3 and 3", i, run.DCCount, len(run.PerDC))
+			continue
+		}
+		vms, energy := 0, 0.0
+		for _, dc := range run.PerDC {
+			vms += dc.VMs
+			energy += dc.EnergyMJ
+		}
+		if vms != run.Scenario.VMs {
+			t.Errorf("fleet row %d: per-DC VMs sum to %d, want %d", i, vms, run.Scenario.VMs)
+		}
+		if energy != run.TotalEnergyMJ {
+			t.Errorf("fleet row %d: per-DC energy sums to %v, row says %v", i, energy, run.TotalEnergyMJ)
+		}
+		if run.EPScore <= 0 || run.EPScore > 1 {
+			t.Errorf("fleet row %d: EP score %v outside (0,1]", i, run.EPScore)
+		}
+	}
+
+	// The single-topology rows match a grid that never mentions
+	// topologies — the axis default is the identity.
+	plain := topologyGrid()
+	plain.Topologies = nil
+	pres, err := Run(plain, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		a, b := res.Runs[i], pres.Runs[i]
+		if a.Scenario.Topology != "single" || b.Scenario.Topology != "single" {
+			t.Fatalf("expansion order changed: %q vs %q", a.Scenario.Topology, b.Scenario.Topology)
+		}
+		if a.TotalEnergyMJ != b.TotalEnergyMJ || a.Violations != b.Violations ||
+			a.MeanActive != b.MeanActive || a.MeanPlannedFreqGHz != b.MeanPlannedFreqGHz {
+			t.Errorf("row %d: explicit single differs from default grid: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// Sharing: 3 topologies × 2 policies reuse ONE trace and ONE
+	// prediction set (dispatch happens after prediction).
+	if res.Load.TraceBuilds != 1 || res.Load.PredictBuilds != 1 {
+		t.Errorf("load stats = %+v, want 1 trace and 1 prediction build across all topologies", res.Load)
+	}
+}
+
+// TestTopologyAxisCacheRerun is the engine half of the fleet-cache
+// acceptance criterion: a warm re-run of a topology grid executes
+// nothing and emits byte-identical output, and an edited fleet file
+// invalidates exactly its own rows.
+func TestTopologyAxisCacheRerun(t *testing.T) {
+	dir := t.TempDir()
+	fleetPath := filepath.Join(dir, "fleet.json")
+	fleetBody := `{
+		"name": "pair",
+		"dcs": [
+			{"name": "a", "share": 0.5, "pue": 1.1},
+			{"name": "b", "share": 0.5, "pue": 1.3, "server": "conventional"}
+		]
+	}`
+	if err := os.WriteFile(fleetPath, []byte(fleetBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := topologyGrid()
+	g.Topologies = []string{"single", "follow-the-load@" + fleetPath}
+
+	open := func() *cache.Store {
+		store, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	cold, err := Run(g, Options{Workers: 4, Cache: open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Cache; s.Hits != 0 || s.Misses != 4 || s.Writes != 4 {
+		t.Fatalf("cold stats = %+v, want 0/4/4", s)
+	}
+
+	warm, err := Run(g, Options{Workers: 4, Cache: open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Cache; s.Hits != 4 || s.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want all hits", s)
+	}
+	if cold.CSV() != warm.CSV() {
+		t.Errorf("cached fleet CSV differs:\n%s\nvs\n%s", warm.CSV(), cold.CSV())
+	}
+
+	// Editing the fleet file flips its fingerprint: the fleet's rows
+	// re-execute, the single rows still hit.
+	if err := os.WriteFile(fleetPath, []byte(strings.Replace(fleetBody, "1.3", "1.6", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Run(g, Options{Workers: 4, Cache: open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edited.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if s := edited.Cache; s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("edited-fleet stats = %+v, want 2 hits (single) and 2 misses (fleet)", s)
+	}
+}
+
+// TestStaleSchemaVersionEntriesAreIgnored pins the schema-version
+// invalidation contract: rows persisted under any other result schema
+// version never answer a scenario, however valid their bytes are.
+func TestStaleSchemaVersionEntriesAreIgnored(t *testing.T) {
+	dir := t.TempDir()
+	g := Grid{
+		Policies:   []string{"EPACT", "COAT"},
+		VMs:        []int{30},
+		MaxServers: []int{30},
+		EvalDays:   1,
+		Seeds:      []int64{2018},
+		Predictors: []string{"oracle"},
+	}
+
+	// Execute once without a store to obtain genuine row bytes.
+	res, err := Run(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist those rows under a STALE schema version.
+	store, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := g.WithDefaults()
+	ld := &loader{}
+	for i := range res.Runs {
+		key, ok := scenarioCacheKeyVersioned(ld, gd, res.Runs[i].Scenario, "sweep-result-v0-stale")
+		if !ok {
+			t.Fatal("scenario unexpectedly uncacheable")
+		}
+		row, err := json.Marshal(res.Runs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(key, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A sweep over the same grid must ignore them all: every scenario
+	// misses, re-executes, and is written back under the current
+	// version.
+	store2, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := Run(g, Options{Workers: 2, Cache: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rerun.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rerun.Cache; s.Hits != 0 || s.Misses != 2 || s.Writes != 2 {
+		t.Fatalf("stale-version stats = %+v, want 0 hits / 2 misses / 2 writes", s)
+	}
+	for i := range rerun.Runs {
+		if rerun.Runs[i].Cached {
+			t.Errorf("run %d answered from a stale-version entry", i)
+		}
+	}
+
+	// Sanity: under the *current* version the same store now hits.
+	store3, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(g, Options{Workers: 2, Cache: store3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Cache; s.Hits != 2 {
+		t.Errorf("current-version stats = %+v, want 2 hits", s)
+	}
+}

@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Assignment maps each DC (fleet order) to the trace VM indices it
+// hosts, ascending. Every VM appears in exactly one DC — Dispatch
+// partitions the population.
+type Assignment [][]int
+
+// Dispatch partitions a trace's VMs across the fleet's datacenters
+// according to the fleet's dispatcher. It is a pure function of the
+// (resolved) fleet and the trace: no randomness, deterministic
+// tie-breaking, so fleet scenarios inherit the sweep engine's
+// byte-determinism contract.
+//
+// historySamples bounds what load-aware dispatchers may observe: the
+// first historySamples of each VM's series (the past a real operator
+// has seen). <= 0, or more samples than the trace holds, means the
+// whole trace. Load-blind dispatchers ignore it.
+func Dispatch(f Fleet, tr *trace.Trace, historySamples int) (Assignment, error) {
+	f = f.normalized()
+	switch f.Dispatcher {
+	case "uniform":
+		return dispatchUniform(f, tr), nil
+	case "greedy-proportional":
+		return dispatchGreedyProportional(f, tr)
+	case "follow-the-load":
+		return dispatchFollowTheLoad(f, tr, historySamples), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown dispatcher %q", f.Dispatcher)
+	}
+}
+
+// dispatchUniform interleaves VMs across DCs proportionally to their
+// Share, using the D'Hondt highest-averages rule: VM i goes to the DC
+// minimizing (hosted+1)/share, earliest DC on ties. The result tracks
+// the share quotas at every prefix, so correlated VM groups (adjacent
+// IDs in the synthetic traces) spread instead of landing in one DC.
+func dispatchUniform(f Fleet, tr *trace.Trace) Assignment {
+	out := make(Assignment, len(f.DCs))
+	for v := range tr.VMs {
+		best := 0
+		bestQ := 0.0
+		for i, dc := range f.DCs {
+			q := float64(len(out[i])+1) / dc.Share
+			if i == 0 || q < bestQ {
+				best, bestQ = i, q
+			}
+		}
+		out[best] = append(out[best], v)
+	}
+	return out
+}
+
+// ProportionalityScore rates a server model's hardware energy
+// proportionality in [0,1]: 1 - idle/peak power, where idle is an
+// empty switched-on server at F_min and peak is all cores busy at
+// F_max. A perfectly proportional server (zero idle power) scores 1;
+// the paper's NTC server outranks the conventional E5 class machine.
+func ProportionalityScore(m *power.ServerModel) float64 {
+	peak := m.CPUBoundPower(m.FMax).W()
+	if peak <= 0 {
+		return 0
+	}
+	return 1 - m.IdlePower(m.FMin).W()/peak
+}
+
+// dispatchGreedyProportional fills the most energy-proportional DC
+// first: DCs are ranked by the ProportionalityScore of their server
+// model (spec order on ties), and VMs in ID order fill each DC up to
+// its VM capacity (servers × per-server VM slots, bounded by cores
+// and 1 GB memory containers) before overflowing to the next. The
+// last-ranked DC absorbs any remainder — an over-full fleet surfaces
+// as pool-cap violations in the simulation, never as dropped VMs.
+func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
+	type ranked struct {
+		idx   int
+		score float64
+		cap   int // VM capacity; 0 = unbounded
+	}
+	order := make([]ranked, len(f.DCs))
+	for i, dc := range f.DCs {
+		// The DC's effective static power shifts its idle/peak ratio,
+		// so it belongs in the ranking; Run materialises the scenario
+		// default into the resolved specs before dispatching.
+		m, _, err := ServerPlatform(dc.Server, dc.StaticPowerW)
+		if err != nil {
+			return nil, err
+		}
+		slots := m.Cores
+		if gb := int(m.DRAM.Capacity.GB()); gb < slots {
+			slots = gb
+		}
+		cap := 0
+		if dc.Servers > 0 {
+			cap = dc.Servers * slots
+		}
+		order[i] = ranked{idx: i, score: ProportionalityScore(m), cap: cap}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].score > order[b].score })
+
+	out := make(Assignment, len(f.DCs))
+	pos := 0
+	for v := range tr.VMs {
+		// Advance past full DCs; the last one takes everything left.
+		for pos < len(order)-1 && order[pos].cap > 0 && len(out[order[pos].idx]) >= order[pos].cap {
+			pos++
+		}
+		out[order[pos].idx] = append(out[order[pos].idx], v)
+	}
+	return out, nil
+}
+
+// dispatchFollowTheLoad balances observed load latency-aware: each
+// DC's weight is share / latency (closer DCs attract more load), and
+// VMs — heaviest observed mean CPU first, stable by ID — go greedily
+// to the DC with the lowest weighted load after placement. Only the
+// history window feeds the means (the load an operator has already
+// seen); dispatch never peeks at the evaluation period. Per-DC lists
+// are re-sorted ascending so downstream replay order stays canonical.
+func dispatchFollowTheLoad(f Fleet, tr *trace.Trace, historySamples int) Assignment {
+	weights := make([]float64, len(f.DCs))
+	for i, dc := range f.DCs {
+		lat := dc.LatencyMs
+		if lat < 1 {
+			lat = 1
+		}
+		weights[i] = dc.Share / lat
+	}
+
+	type vmLoad struct {
+		idx  int
+		mean float64
+	}
+	loads := make([]vmLoad, len(tr.VMs))
+	for v, vm := range tr.VMs {
+		window := vm.CPU
+		if historySamples > 0 && historySamples < len(window) {
+			window = window[:historySamples]
+		}
+		sum := 0.0
+		for _, c := range window {
+			sum += c
+		}
+		mean := 0.0
+		if len(window) > 0 {
+			mean = sum / float64(len(window))
+		}
+		loads[v] = vmLoad{idx: v, mean: mean}
+	}
+	sort.SliceStable(loads, func(a, b int) bool { return loads[a].mean > loads[b].mean })
+
+	out := make(Assignment, len(f.DCs))
+	hosted := make([]float64, len(f.DCs))
+	for _, vm := range loads {
+		best := 0
+		bestQ := 0.0
+		for i := range f.DCs {
+			q := (hosted[i] + vm.mean) / weights[i]
+			if i == 0 || q < bestQ {
+				best, bestQ = i, q
+			}
+		}
+		out[best] = append(out[best], vm.idx)
+		hosted[best] += vm.mean
+	}
+	for i := range out {
+		sort.Ints(out[i])
+	}
+	return out
+}

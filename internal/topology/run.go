@@ -1,0 +1,289 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Config parameterises one fleet run.
+type Config struct {
+	// Fleet is the datacenter composition; Run resolves it against
+	// MaxServers (relative DCs become Share-sized pools).
+	Fleet Fleet
+
+	// Trace is the fleet-wide VM population the dispatcher partitions.
+	Trace *trace.Trace
+
+	// Predictions cover the whole trace (dcsim.Predict); each DC's
+	// simulation sees the rows of its own VMs. Per-VM forecasts are
+	// independent, so one shared prediction set serves every topology
+	// and dispatcher of a sweep.
+	Predictions *dcsim.PredictionSet
+
+	// HistoryDays and EvalDays split the trace, as in dcsim.Config.
+	HistoryDays, EvalDays int
+
+	// MaxServers is the fleet-wide pool that sizes relative DCs
+	// (Share fractions); DCs with absolute Servers keep them. 0 keeps
+	// relative DCs unbounded.
+	MaxServers int
+
+	// StaticPowerW is the scenario's static-power override, inherited
+	// by DCs without their own.
+	StaticPowerW float64
+
+	// NewPolicy builds a fresh allocation-policy instance for one DC.
+	// Policies are stateful across slots, so instances are never
+	// shared between datacenters.
+	NewPolicy func(m *power.ServerModel) (alloc.Policy, error)
+
+	// Transitions prices power-state changes and migrations, applied
+	// identically in every DC.
+	Transitions dcsim.TransitionModel
+
+	// TraceLabel is the provenance label passed through to dcsim.
+	TraceLabel string
+}
+
+// DCRun is one datacenter's outcome within a fleet run.
+type DCRun struct {
+	// Spec is the resolved DC (absolute Servers, defaults filled).
+	Spec DCSpec `json:"spec"`
+
+	// VMs is how many VMs the dispatcher placed here.
+	VMs int `json:"vms"`
+
+	// EnergyMJ is the DC's facility energy: IT energy × PUE.
+	EnergyMJ float64 `json:"energy_mj"`
+
+	// ITEnergyMJ is the server-level energy before the PUE multiplier.
+	ITEnergyMJ float64 `json:"it_energy_mj"`
+
+	Violations int     `json:"violations"`
+	MeanActive float64 `json:"mean_active"`
+	PeakActive int     `json:"peak_active"`
+	Migrations int     `json:"migrations"`
+
+	// EPScore is the realized energy-proportionality of this DC's
+	// facility-energy series (see SeriesEPScore).
+	EPScore float64 `json:"ep_score"`
+
+	// Result is the full simulation output (nil for a DC that hosted
+	// no VMs). Not serialised.
+	Result *dcsim.Result `json:"-"`
+}
+
+// FleetResult aggregates a fleet run.
+type FleetResult struct {
+	// Fleet is the resolved fleet that ran.
+	Fleet Fleet `json:"fleet"`
+
+	// DCs are the per-datacenter outcomes, in fleet spec order.
+	DCs []DCRun `json:"dcs"`
+
+	// TotalEnergyMJ is the fleet's facility energy: the sum over DCs
+	// of IT energy × PUE.
+	TotalEnergyMJ float64 `json:"total_energy_mj"`
+
+	// TransitionMJ is the PUE-weighted transition-energy share.
+	TransitionMJ float64 `json:"transition_mj"`
+
+	Violations int     `json:"violations"`
+	Migrations int     `json:"migrations"`
+	MeanActive float64 `json:"mean_active"`
+	PeakActive int     `json:"peak_active"`
+	Slots      int     `json:"slots"`
+
+	// EPScore is the realized energy proportionality of the fleet's
+	// per-slot facility-energy series (see SeriesEPScore).
+	EPScore float64 `json:"ep_score"`
+
+	// MeanPlannedFreqGHz is the VM-weighted mean of the per-DC
+	// allocator cap frequencies.
+	MeanPlannedFreqGHz float64 `json:"mean_planned_freq_ghz"`
+
+	// SlotEnergyMJ is the fleet's per-slot facility-energy series.
+	SlotEnergyMJ []float64 `json:"-"`
+}
+
+// SeriesEPScore measures how proportionally an energy series tracks
+// its own dynamic range: 1 − min/max over the per-slot energies, in
+// [0,1]. A fleet that burns the same power in the quietest and
+// busiest slot is fully unproportional (0); one whose energy falls to
+// zero at idle approaches 1. It is a realized, workload-conditional
+// score — compare it across policies and topologies on the same
+// trace, not across traces.
+func SeriesEPScore(slotMJ []float64) float64 {
+	if len(slotMJ) == 0 {
+		return 0
+	}
+	min, max := slotMJ[0], slotMJ[0]
+	for _, e := range slotMJ[1:] {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return 1 - min/max
+}
+
+// subTrace views a subset of a trace's VMs (ascending idxs). VM data
+// is shared read-only with the parent — dispatch happens after any
+// churn mutation, so DC simulations never alias mutable state.
+func subTrace(tr *trace.Trace, idxs []int) *trace.Trace {
+	out := &trace.Trace{Interval: tr.Interval, VMs: make([]*trace.VM, len(idxs))}
+	for i, v := range idxs {
+		out.VMs[i] = tr.VMs[v]
+	}
+	return out
+}
+
+// subPredictions views the prediction rows of a VM subset.
+func subPredictions(ps *dcsim.PredictionSet, idxs []int) *dcsim.PredictionSet {
+	out := &dcsim.PredictionSet{
+		Predictor: ps.Predictor,
+		CPU:       make([][]float64, len(idxs)),
+		Mem:       make([][]float64, len(idxs)),
+	}
+	for i, v := range idxs {
+		out.CPU[i] = ps.CPU[v]
+		out.Mem[i] = ps.Mem[v]
+	}
+	return out
+}
+
+// Run executes one fleet workload: resolve the fleet, dispatch the
+// VMs, simulate every datacenter through dcsim unchanged, and
+// aggregate. A single-DC fleet with PUE 1 reproduces the plain
+// datacenter simulation bit-for-bit — the degenerate "single"
+// topology is the identity, which is what lets the sweep engine route
+// every scenario through here without perturbing existing results.
+func Run(cfg Config) (*FleetResult, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("topology: nil trace")
+	}
+	if cfg.Predictions == nil {
+		return nil, fmt.Errorf("topology: nil predictions")
+	}
+	if cfg.NewPolicy == nil {
+		return nil, fmt.Errorf("topology: nil policy factory")
+	}
+	fleet := cfg.Fleet.Resolve(cfg.MaxServers)
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	// Materialise the scenario's static-power default into the
+	// resolved specs so dispatchers that rank by hardware
+	// proportionality see each DC's effective platform cost.
+	for i := range fleet.DCs {
+		if fleet.DCs[i].StaticPowerW == 0 {
+			fleet.DCs[i].StaticPowerW = cfg.StaticPowerW
+		}
+	}
+	// Load-aware dispatch may observe the history window only.
+	asg, err := Dispatch(fleet, cfg.Trace, cfg.HistoryDays*trace.SamplesPerDay)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FleetResult{Fleet: fleet, DCs: make([]DCRun, len(fleet.DCs))}
+	var freqWeighted, vmTotal float64
+	for i, dc := range fleet.DCs {
+		run := &res.DCs[i]
+		run.Spec = dc
+		run.VMs = len(asg[i])
+		if run.VMs == 0 {
+			continue
+		}
+		// The resolved spec already carries the effective static power
+		// (per-DC override or the scenario default).
+		model, plat, err := ServerPlatform(dc.Server, dc.StaticPowerW)
+		if err != nil {
+			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		pol, err := cfg.NewPolicy(model)
+		if err != nil {
+			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		sim, err := dcsim.Run(dcsim.Config{
+			Trace:       subTrace(cfg.Trace, asg[i]),
+			Predictions: subPredictions(cfg.Predictions, asg[i]),
+			HistoryDays: cfg.HistoryDays,
+			EvalDays:    cfg.EvalDays,
+			Policy:      pol,
+			Server:      model,
+			Platform:    plat,
+			MaxServers:  dc.Servers,
+			Transitions: cfg.Transitions,
+			TraceLabel:  cfg.TraceLabel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		run.Result = sim
+		run.ITEnergyMJ = sim.TotalEnergy.MJ()
+		run.EnergyMJ = run.ITEnergyMJ * dc.PUE
+		run.Violations = sim.TotalViol
+		run.MeanActive = sim.MeanActive
+		run.PeakActive = sim.PeakActive
+		run.Migrations = sim.TotalMigrations
+
+		res.TotalEnergyMJ += run.EnergyMJ
+		res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
+		res.Violations += run.Violations
+		res.Migrations += run.Migrations
+		if len(sim.Slots) > res.Slots {
+			res.Slots = len(sim.Slots)
+		}
+		freqWeighted += sim.MeanPlannedFreqGHz() * float64(run.VMs)
+		vmTotal += float64(run.VMs)
+	}
+
+	// Fleet per-slot series: facility energy and summed active servers.
+	res.SlotEnergyMJ = make([]float64, res.Slots)
+	activePerSlot := make([]int, res.Slots)
+	for i := range res.DCs {
+		sim := res.DCs[i].Result
+		if sim == nil {
+			continue
+		}
+		dcSlotMJ := make([]float64, len(sim.Slots))
+		for t, s := range sim.Slots {
+			mj := s.Energy.MJ() * res.DCs[i].Spec.PUE
+			dcSlotMJ[t] = mj
+			res.SlotEnergyMJ[t] += mj
+			activePerSlot[t] += s.ActiveServers
+		}
+		res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ)
+	}
+	activeSum := 0
+	for _, a := range activePerSlot {
+		activeSum += a
+		if a > res.PeakActive {
+			res.PeakActive = a
+		}
+	}
+	if res.Slots > 0 {
+		res.MeanActive = float64(activeSum) / float64(res.Slots)
+	}
+	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
+	if len(res.DCs) == 1 {
+		// Bit-exact identity with the single-datacenter path: avoid
+		// the weighted-mean round trip when there is nothing to weigh.
+		if sim := res.DCs[0].Result; sim != nil {
+			res.MeanPlannedFreqGHz = sim.MeanPlannedFreqGHz()
+		}
+	} else if vmTotal > 0 {
+		res.MeanPlannedFreqGHz = freqWeighted / vmTotal
+	}
+	return res, nil
+}

@@ -1,0 +1,405 @@
+// Package topology models a fleet of heterogeneous datacenters behind
+// a cross-DC dispatcher — the multi-datacenter axis of the study. The
+// paper asks "consolidate or spread?" inside one datacenter; this
+// package asks it across a fleet, where the global dispatch policy
+// (which DC hosts which VMs) interacts with per-DC consolidation the
+// same way subsystem-level power management interacts with node-level
+// proportionality.
+//
+// A Fleet composes N datacenters (DCSpec), each with its own server
+// platform ("ntc" or "conventional"), pool size, PUE, dispatch share
+// and latency. Fleets come from a spec string of the form
+//
+//	[dispatcher@]ref        e.g. "triad", "greedy-proportional@triad",
+//	                             "follow-the-load@fleet.json"
+//
+// parsed by ParseSpec: ref is a builtin fleet name (BuiltinFleets) or
+// a path to a JSON fleet file (any ref ending in ".json"; see
+// docs/TOPOLOGY.md for the format). The dispatcher prefix selects the
+// cross-DC dispatch policy (DispatcherNames) and defaults to
+// "uniform".
+//
+// Run executes one fleet workload: the dispatcher partitions the
+// trace's VMs across the datacenters, every datacenter runs through
+// internal/dcsim unchanged (its own server model, allocation-policy
+// instance and pool bound), and the per-DC results are aggregated
+// into fleet-level energy (PUE-weighted), energy-proportionality
+// score, QoS violations and migration counts.
+//
+// Everything here is deterministic: dispatch is a pure function of
+// the fleet spec and the trace, so fleet sweeps inherit the sweep
+// engine's byte-determinism and caching contracts. Spec provides the
+// content fingerprint (file path + content hash for file-backed
+// fleets) that the incremental result cache keys on.
+package topology
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// DCSpec describes one datacenter of a fleet.
+type DCSpec struct {
+	// Name labels the DC in results; unique within a fleet.
+	Name string `json:"name"`
+
+	// Servers is the DC's physical pool. 0 means "relative": the DC
+	// receives its Share of the scenario's fleet-wide pool when the
+	// fleet is resolved (see Resolve). Builtin fleets are relative so
+	// they scale with the scenario.
+	Servers int `json:"servers,omitempty"`
+
+	// PUE is the facility's power usage effectiveness; fleet energy
+	// multiplies each DC's IT energy by it. 0 defaults to 1.0.
+	PUE float64 `json:"pue,omitempty"`
+
+	// Share is the DC's dispatch weight (uniform dispatch) and its
+	// fraction of a relative fleet's pool. 0 defaults to 1.
+	Share float64 `json:"share,omitempty"`
+
+	// LatencyMs is the DC's network distance from the load source;
+	// follow-the-load dispatch discounts a DC's weight by it. 0
+	// defaults to 10 ms.
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+
+	// Server selects the DC's server platform: "ntc" (default) or
+	// "conventional" (the Intel E5-2620 class comparison machine).
+	Server string `json:"server,omitempty"`
+
+	// StaticPowerW overrides the per-server static platform power
+	// (motherboard/fan/disk) for this DC; 0 inherits the scenario's
+	// override (or the model default).
+	StaticPowerW float64 `json:"static_power_w,omitempty"`
+}
+
+// Fleet is a set of datacenters behind one dispatch policy.
+type Fleet struct {
+	// Name labels the fleet ("single", "triad", or the file's name).
+	Name string `json:"name"`
+
+	// Dispatcher is the cross-DC dispatch policy; see DispatcherNames.
+	// Empty defaults to "uniform".
+	Dispatcher string `json:"dispatcher,omitempty"`
+
+	// DCs are the fleet's datacenters in spec order (the order per-DC
+	// results are reported in).
+	DCs []DCSpec `json:"dcs"`
+}
+
+// DispatcherNames lists the cross-DC dispatch policies.
+func DispatcherNames() []string {
+	return []string{"uniform", "greedy-proportional", "follow-the-load"}
+}
+
+// BuiltinFleets lists the built-in fleet names.
+func BuiltinFleets() []string { return []string{"single", "triad"} }
+
+// builtinFleet materialises a built-in fleet. Builtins are relative
+// (Servers 0): their pools are shares of the scenario's MaxServers.
+func builtinFleet(name string) (Fleet, bool) {
+	switch name {
+	case "single":
+		// The degenerate one-DC fleet: every scenario without an
+		// explicit topology runs through it, and it reproduces the
+		// plain single-datacenter simulation exactly (PUE 1, full
+		// share, NTC servers).
+		return Fleet{Name: "single", DCs: []DCSpec{
+			{Name: "dc0", Share: 1, PUE: 1.0},
+		}}, true
+	case "triad":
+		// Three heterogeneous DCs: a large efficient NTC core site, a
+		// mid-size metro site with a heavier static platform, and a
+		// small low-latency edge site on conventional servers.
+		return Fleet{Name: "triad", DCs: []DCSpec{
+			{Name: "core", Share: 0.5, PUE: 1.12, LatencyMs: 40},
+			{Name: "metro", Share: 0.3, PUE: 1.25, LatencyMs: 15, StaticPowerW: 25},
+			{Name: "edge", Share: 0.2, PUE: 1.5, LatencyMs: 5, Server: "conventional"},
+		}}, true
+	default:
+		return Fleet{}, false
+	}
+}
+
+// ServerPlatforms lists the per-DC server platform names.
+func ServerPlatforms() []string { return []string{"ntc", "conventional"} }
+
+// ServerPlatform resolves a DCSpec server name into its power model
+// and performance platform, applying an optional static-power
+// override (motherboard/fan/disk watts; 0 keeps the model default).
+func ServerPlatform(name string, staticW float64) (*power.ServerModel, *platform.Platform, error) {
+	var m *power.ServerModel
+	var p *platform.Platform
+	switch name {
+	case "", "ntc":
+		m, p = power.NTCServer(), platform.NTCServer()
+	case "conventional":
+		m, p = power.IntelE5_2620(), platform.IntelX5650()
+	default:
+		return nil, nil, fmt.Errorf("topology: unknown server platform %q (known: %s)",
+			name, strings.Join(ServerPlatforms(), ", "))
+	}
+	if staticW > 0 {
+		m.Motherboard = units.Watts(staticW)
+	}
+	return m, p, nil
+}
+
+// Validate checks a fleet's structural consistency.
+func (f Fleet) Validate() error {
+	if len(f.DCs) == 0 {
+		return fmt.Errorf("topology: fleet %q has no datacenters", f.Name)
+	}
+	if f.Dispatcher != "" && !knownDispatcher(f.Dispatcher) {
+		return fmt.Errorf("topology: fleet %q: unknown dispatcher %q (known: %s)",
+			f.Name, f.Dispatcher, strings.Join(DispatcherNames(), ", "))
+	}
+	seen := map[string]bool{}
+	for i, dc := range f.DCs {
+		if dc.Name == "" {
+			return fmt.Errorf("topology: fleet %q: DC %d has no name", f.Name, i)
+		}
+		if seen[dc.Name] {
+			return fmt.Errorf("topology: fleet %q: duplicate DC name %q", f.Name, dc.Name)
+		}
+		seen[dc.Name] = true
+		if dc.Servers < 0 {
+			return fmt.Errorf("topology: fleet %q: DC %q: Servers must be >= 0, got %d", f.Name, dc.Name, dc.Servers)
+		}
+		if dc.PUE != 0 && dc.PUE < 1 {
+			return fmt.Errorf("topology: fleet %q: DC %q: PUE %g < 1", f.Name, dc.Name, dc.PUE)
+		}
+		if dc.Share < 0 || dc.LatencyMs < 0 || dc.StaticPowerW < 0 {
+			return fmt.Errorf("topology: fleet %q: DC %q: negative share/latency/static power", f.Name, dc.Name)
+		}
+		if _, _, err := ServerPlatform(dc.Server, 0); err != nil {
+			return fmt.Errorf("topology: fleet %q: DC %q: %w", f.Name, dc.Name, err)
+		}
+	}
+	return nil
+}
+
+func knownDispatcher(name string) bool {
+	for _, d := range DispatcherNames() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// normalized fills the per-DC defaults (PUE 1.0, Share 1, 10 ms
+// latency, uniform dispatch) so the dispatchers and the runner never
+// see zero values.
+func (f Fleet) normalized() Fleet {
+	if f.Dispatcher == "" {
+		f.Dispatcher = "uniform"
+	}
+	dcs := make([]DCSpec, len(f.DCs))
+	copy(dcs, f.DCs)
+	for i := range dcs {
+		if dcs[i].PUE == 0 {
+			dcs[i].PUE = 1.0
+		}
+		if dcs[i].Share == 0 {
+			dcs[i].Share = 1
+		}
+		if dcs[i].LatencyMs == 0 {
+			dcs[i].LatencyMs = 10
+		}
+	}
+	f.DCs = dcs
+	return f
+}
+
+// Resolve normalizes the fleet and sizes its relative DCs (Servers
+// 0) as Share-proportional fractions of maxServers, using largest
+// remainders so the resolved pools sum exactly to maxServers. With
+// maxServers 0 (the unbounded pool) relative DCs stay unbounded.
+func (f Fleet) Resolve(maxServers int) Fleet {
+	f = f.normalized()
+	if maxServers <= 0 {
+		return f
+	}
+	var relIdx []int
+	fixed := 0
+	total := 0.0
+	for i, dc := range f.DCs {
+		if dc.Servers > 0 {
+			fixed += dc.Servers
+			continue
+		}
+		relIdx = append(relIdx, i)
+		total += dc.Share
+	}
+	if len(relIdx) == 0 || total <= 0 {
+		return f
+	}
+	pool := maxServers - fixed
+	if pool < len(relIdx) {
+		pool = len(relIdx) // every DC gets at least one server
+	}
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(relIdx))
+	for _, i := range relIdx {
+		exact := float64(pool) * f.DCs[i].Share / total
+		n := int(exact)
+		// A resolved DC must own at least one server: Servers 0 means
+		// "unbounded" everywhere downstream (dcsim's pool cap, the
+		// greedy dispatcher's capacity), so a tiny-share DC rounding
+		// to zero would silently become an unlimited datacenter.
+		if n < 1 {
+			n = 1
+		}
+		f.DCs[i].Servers = n
+		assigned += n
+		rems = append(rems, rem{idx: i, frac: exact - float64(n)})
+	}
+	// Hand leftover servers to the largest remainders (ties go to the
+	// earlier DC — deterministic).
+	for assigned < pool {
+		best := -1
+		for j := range rems {
+			if best < 0 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		f.DCs[rems[best].idx].Servers++
+		rems[best].frac = -1
+		assigned++
+	}
+	// If the one-server floors overshot the pool (skewed shares at a
+	// tiny pool), take the excess back from the largest DCs, never
+	// below one server. Feasible because pool >= len(relIdx).
+	for assigned > pool {
+		big := -1
+		for _, i := range relIdx {
+			if f.DCs[i].Servers > 1 && (big < 0 || f.DCs[i].Servers > f.DCs[big].Servers) {
+				big = i
+			}
+		}
+		f.DCs[big].Servers--
+		assigned--
+	}
+	return f
+}
+
+// Spec is a parsed-but-not-loaded topology spec, mirroring how
+// trace.Source describes ingestion backends: parsing validates the
+// shape, Load materialises the fleet (reading the file for file
+// specs), and Fingerprint gives the content-derived cache key.
+type Spec struct {
+	// Dispatcher is the cross-DC policy ("" in the spec string means
+	// uniform; kept verbatim here so String round-trips).
+	Dispatcher string
+
+	// Ref is the builtin fleet name or the JSON file path.
+	Ref string
+
+	// IsFile reports whether Ref is a fleet file.
+	IsFile bool
+}
+
+// ParseSpec parses "[dispatcher@]ref" without touching the
+// filesystem. Ref is a builtin fleet name, or a fleet-file path when
+// it ends in ".json" (missing files surface at Load time, like trace
+// files, so one bad scenario cannot invalidate a whole grid).
+func ParseSpec(spec string) (Spec, error) {
+	s := Spec{Ref: spec}
+	if i := strings.Index(spec, "@"); i >= 0 {
+		s.Dispatcher, s.Ref = spec[:i], spec[i+1:]
+		if !knownDispatcher(s.Dispatcher) {
+			return Spec{}, fmt.Errorf("topology: unknown dispatcher %q in spec %q (known: %s)",
+				s.Dispatcher, spec, strings.Join(DispatcherNames(), ", "))
+		}
+	}
+	if s.Ref == "" {
+		return Spec{}, fmt.Errorf("topology: empty fleet ref in spec %q", spec)
+	}
+	if strings.HasSuffix(s.Ref, ".json") {
+		s.IsFile = true
+		return s, nil
+	}
+	if _, ok := builtinFleet(s.Ref); !ok {
+		return Spec{}, fmt.Errorf("topology: unknown fleet %q (builtins: %s; file fleets must end in .json)",
+			s.Ref, strings.Join(BuiltinFleets(), ", "))
+	}
+	return s, nil
+}
+
+// String returns the canonical spec string ParseSpec parses back.
+func (s Spec) String() string {
+	if s.Dispatcher == "" {
+		return s.Ref
+	}
+	return s.Dispatcher + "@" + s.Ref
+}
+
+// Load materialises and validates the fleet, applying the spec's
+// dispatcher override. The returned fleet is not yet resolved —
+// relative DCs keep Servers 0 until Resolve sees the scenario pool.
+func (s Spec) Load() (Fleet, error) {
+	var f Fleet
+	if s.IsFile {
+		data, err := os.ReadFile(s.Ref)
+		if err != nil {
+			return Fleet{}, fmt.Errorf("topology: reading fleet file: %w", err)
+		}
+		if f, err = ParseFleetJSON(data); err != nil {
+			return Fleet{}, fmt.Errorf("topology: %s: %w", s.Ref, err)
+		}
+		if f.Name == "" {
+			f.Name = s.Ref
+		}
+	} else {
+		f, _ = builtinFleet(s.Ref)
+	}
+	if s.Dispatcher != "" {
+		f.Dispatcher = s.Dispatcher
+	}
+	if err := f.Validate(); err != nil {
+		return Fleet{}, err
+	}
+	return f, nil
+}
+
+// Fingerprint returns a stable key for the fleet definition's
+// content: builtins are identified by name (code changes are covered
+// by the sweep's result schema version), file fleets by path plus a
+// content hash so an edited fleet file invalidates cached results.
+// The dispatcher lives in the scenario identity, not here.
+func (s Spec) Fingerprint() (string, error) {
+	if !s.IsFile {
+		return "topology:builtin:" + s.Ref, nil
+	}
+	data, err := os.ReadFile(s.Ref)
+	if err != nil {
+		return "", fmt.Errorf("topology: fingerprinting %s: %w", s.Ref, err)
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("topology:file:%s:%s", s.Ref, hex.EncodeToString(sum[:16])), nil
+}
+
+// ParseFleetJSON decodes a fleet definition, rejecting unknown fields
+// so typos in hand-written fleet files surface early.
+func ParseFleetJSON(data []byte) (Fleet, error) {
+	var f Fleet
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return Fleet{}, fmt.Errorf("parsing fleet: %w", err)
+	}
+	return f, nil
+}

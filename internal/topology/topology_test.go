@@ -1,0 +1,516 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/dcsim"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+func testTrace(t *testing.T, seed int64, vms, days int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig(seed)
+	cfg.VMs = vms
+	cfg.Days = days
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec       string
+		dispatcher string
+		ref        string
+		file       bool
+	}{
+		{"single", "", "single", false},
+		{"triad", "", "triad", false},
+		{"uniform@triad", "uniform", "triad", false},
+		{"greedy-proportional@triad", "greedy-proportional", "triad", false},
+		{"follow-the-load@fleet.json", "follow-the-load", "fleet.json", true},
+		{"path/to/fleet.json", "", "path/to/fleet.json", true},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if s.Dispatcher != c.dispatcher || s.Ref != c.ref || s.IsFile != c.file {
+			t.Errorf("ParseSpec(%q) = %+v, want {%q %q %v}", c.spec, s, c.dispatcher, c.ref, c.file)
+		}
+		if s.String() != c.spec {
+			t.Errorf("ParseSpec(%q).String() = %q, not a round trip", c.spec, s.String())
+		}
+	}
+
+	for _, bad := range []string{"", "bogus", "warp@triad", "uniform@", "uniform@bogus"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestBuiltinFleetsLoadAndValidate(t *testing.T) {
+	for _, name := range BuiltinFleets() {
+		s, err := ParseSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := s.Load()
+		if err != nil {
+			t.Fatalf("builtin %q: %v", name, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+	f, err := Spec{Ref: "triad"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DCs) != 3 {
+		t.Fatalf("triad has %d DCs, want 3", len(f.DCs))
+	}
+	// Heterogeneity: at least two server platforms and two PUE levels.
+	if f.DCs[0].Server == f.DCs[2].Server {
+		t.Error("triad DCs share one server platform; want heterogeneous")
+	}
+	if f.DCs[0].PUE == f.DCs[1].PUE {
+		t.Error("triad DCs share one PUE; want heterogeneous")
+	}
+}
+
+func TestFleetFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	body := []byte(`{
+		"name": "pair",
+		"dispatcher": "follow-the-load",
+		"dcs": [
+			{"name": "a", "servers": 20, "pue": 1.2, "latency_ms": 5},
+			{"name": "b", "servers": 10, "pue": 1.1, "server": "conventional", "latency_ms": 50}
+		]
+	}`)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "pair" || f.Dispatcher != "follow-the-load" || len(f.DCs) != 2 {
+		t.Fatalf("loaded fleet = %+v", f)
+	}
+
+	// The spec's dispatcher prefix overrides the file's.
+	s2, err := ParseSpec("uniform@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Dispatcher != "uniform" {
+		t.Errorf("dispatcher override = %q, want uniform", f2.Dispatcher)
+	}
+
+	// Fingerprint tracks content: editing the file changes it.
+	fp1, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Error("fingerprint unchanged after editing the fleet file")
+	}
+
+	// Unknown fields are typos, not extensions.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"dcs": [{"name": "a", "serverss": 3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sBad, err := ParseSpec(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sBad.Load(); err == nil {
+		t.Error("fleet file with unknown field loaded without error")
+	}
+}
+
+func TestValidateRejectsBadFleets(t *testing.T) {
+	cases := []Fleet{
+		{Name: "empty"},
+		{Name: "noname", DCs: []DCSpec{{}}},
+		{Name: "dup", DCs: []DCSpec{{Name: "a"}, {Name: "a"}}},
+		{Name: "pue", DCs: []DCSpec{{Name: "a", PUE: 0.5}}},
+		{Name: "neg", DCs: []DCSpec{{Name: "a", Servers: -1}}},
+		{Name: "srv", DCs: []DCSpec{{Name: "a", Server: "quantum"}}},
+		{Name: "disp", Dispatcher: "warp", DCs: []DCSpec{{Name: "a"}}},
+	}
+	for _, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fleet %q validated despite being invalid", f.Name)
+		}
+	}
+}
+
+func TestResolveSplitsPoolByShare(t *testing.T) {
+	f, err := Spec{Ref: "triad"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Resolve(600)
+	sizes := map[string]int{}
+	total := 0
+	for _, dc := range r.DCs {
+		sizes[dc.Name] = dc.Servers
+		total += dc.Servers
+	}
+	if total != 600 {
+		t.Fatalf("resolved pools sum to %d, want 600 (%v)", total, sizes)
+	}
+	if sizes["core"] != 300 || sizes["metro"] != 180 || sizes["edge"] != 120 {
+		t.Errorf("triad split = %v, want 300/180/120", sizes)
+	}
+
+	// Largest-remainder: a pool that does not divide evenly still sums
+	// exactly and deterministically.
+	r = f.Resolve(7)
+	total = 0
+	for _, dc := range r.DCs {
+		if dc.Servers < 1 {
+			t.Errorf("DC %s resolved to %d servers, want >= 1", dc.Name, dc.Servers)
+		}
+		total += dc.Servers
+	}
+	if total != 7 {
+		t.Errorf("resolved pools sum to %d, want 7", total)
+	}
+
+	// MaxServers 0 keeps relative DCs unbounded.
+	for _, dc := range f.Resolve(0).DCs {
+		if dc.Servers != 0 {
+			t.Errorf("unbounded fleet resolved DC %s to %d servers", dc.Name, dc.Servers)
+		}
+	}
+
+	// Absolute pools are untouched.
+	abs := Fleet{Name: "abs", DCs: []DCSpec{{Name: "a", Servers: 42}, {Name: "b"}}}
+	got := abs.Resolve(100)
+	if got.DCs[0].Servers != 42 || got.DCs[1].Servers != 58 {
+		t.Errorf("mixed resolve = %d/%d, want 42/58", got.DCs[0].Servers, got.DCs[1].Servers)
+	}
+
+	// Skewed shares never round a DC down to 0 servers — resolved 0
+	// means "unbounded" downstream, which would silently lift the
+	// fleet's pool cap. The pool still sums exactly.
+	skew := Fleet{Name: "skew", DCs: []DCSpec{
+		{Name: "big", Share: 0.9},
+		{Name: "s1", Share: 0.05},
+		{Name: "s2", Share: 0.05},
+	}}
+	got = skew.Resolve(10)
+	total = 0
+	for _, dc := range got.DCs {
+		if dc.Servers < 1 {
+			t.Errorf("skewed resolve gave DC %s %d servers; 0 would mean unbounded", dc.Name, dc.Servers)
+		}
+		total += dc.Servers
+	}
+	if total != 10 || got.DCs[0].Servers != 8 {
+		t.Errorf("skewed resolve = %d/%d/%d (total %d), want 8/1/1",
+			got.DCs[0].Servers, got.DCs[1].Servers, got.DCs[2].Servers, total)
+	}
+}
+
+// assertPartition checks the dispatch partition property: every VM in
+// exactly one DC, lists ascending.
+func assertPartition(t *testing.T, asg Assignment, vms int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for i, idxs := range asg {
+		for j, v := range idxs {
+			if j > 0 && idxs[j-1] >= v {
+				t.Fatalf("DC %d VM list not ascending: %v", i, idxs)
+			}
+			if seen[v] {
+				t.Fatalf("VM %d dispatched twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != vms {
+		t.Fatalf("dispatched %d VMs, want %d", len(seen), vms)
+	}
+}
+
+func TestDispatchPartitions(t *testing.T) {
+	tr := testTrace(t, 1, 60, 1)
+	f, err := Spec{Ref: "triad"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disp := range DispatcherNames() {
+		f.Dispatcher = disp
+		asg, err := Dispatch(f.Resolve(60), tr, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", disp, err)
+		}
+		assertPartition(t, asg, 60)
+	}
+}
+
+func TestUniformDispatchTracksShares(t *testing.T) {
+	tr := testTrace(t, 1, 100, 1)
+	f := Fleet{Name: "pair", DCs: []DCSpec{
+		{Name: "big", Share: 0.75},
+		{Name: "small", Share: 0.25},
+	}}
+	asg, err := Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg[0]) != 75 || len(asg[1]) != 25 {
+		t.Errorf("uniform split = %d/%d, want 75/25", len(asg[0]), len(asg[1]))
+	}
+	// Interleaved, not contiguous: the small DC hosts some early VM.
+	if len(asg[1]) > 0 && asg[1][0] >= 50 {
+		t.Errorf("uniform dispatch is contiguous (small DC starts at VM %d)", asg[1][0])
+	}
+}
+
+func TestGreedyProportionalFillsNTCFirst(t *testing.T) {
+	if ntc, e5 := ProportionalityScore(power.NTCServer()), ProportionalityScore(power.IntelE5_2620()); ntc <= e5 {
+		t.Fatalf("ProportionalityScore: NTC %.3f <= conventional %.3f; the paper's premise inverted", ntc, e5)
+	}
+	tr := testTrace(t, 1, 40, 1)
+	f := Fleet{Name: "mix", Dispatcher: "greedy-proportional", DCs: []DCSpec{
+		{Name: "conv", Servers: 100, Server: "conventional"},
+		{Name: "ntc", Servers: 2}, // capacity 2×16 = 32 VMs
+	}}
+	asg, err := Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPartition(t, asg, 40)
+	// The NTC DC (more proportional) fills to capacity first; the
+	// remaining 8 VMs overflow to the conventional site.
+	if len(asg[1]) != 32 || len(asg[0]) != 8 {
+		t.Errorf("greedy split = ntc:%d conv:%d, want 32/8", len(asg[1]), len(asg[0]))
+	}
+}
+
+// TestGreedyProportionalSeesStaticPowerOverrides: a heavier static
+// platform makes a DC less proportional, so it must rank below an
+// otherwise identical DC — the override participates in the score.
+func TestGreedyProportionalSeesStaticPowerOverrides(t *testing.T) {
+	tr := testTrace(t, 1, 20, 1)
+	f := Fleet{Name: "static", Dispatcher: "greedy-proportional", DCs: []DCSpec{
+		{Name: "heavy", Servers: 100, StaticPowerW: 45},
+		{Name: "light", Servers: 100},
+	}}
+	asg, err := Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPartition(t, asg, 20)
+	if len(asg[1]) != 20 {
+		t.Errorf("greedy filled heavy=%d light=%d; the 15 W site outranks the 45 W site",
+			len(asg[0]), len(asg[1]))
+	}
+}
+
+// TestFollowTheLoadObservesHistoryOnly: dispatch must rank VMs by the
+// history window, never peeking at evaluation-period load.
+func TestFollowTheLoadObservesHistoryOnly(t *testing.T) {
+	const n = trace.SamplesPerDay
+	series := func(hist, eval float64) []float64 {
+		out := make([]float64, 2*n)
+		for i := 0; i < n; i++ {
+			out[i], out[n+i] = hist, eval
+		}
+		return out
+	}
+	tr := &trace.Trace{Interval: trace.DefaultInterval, VMs: []*trace.VM{
+		{ID: 0, CPU: series(100, 0), Mem: make([]float64, 2*n)},
+		{ID: 1, CPU: series(0, 100), Mem: make([]float64, 2*n)},
+	}}
+	f := Fleet{Name: "peek", Dispatcher: "follow-the-load", DCs: []DCSpec{
+		{Name: "near", LatencyMs: 1},
+		{Name: "far", LatencyMs: 100},
+	}}
+
+	// History window: VM0 is the observed-heavy VM and takes the near
+	// site; VM1 looks idle and balances onto the far site.
+	asg, err := Dispatch(f, tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPartition(t, asg, 2)
+	if len(asg[0]) != 1 || asg[0][0] != 0 || len(asg[1]) != 1 || asg[1][0] != 1 {
+		t.Errorf("history-window dispatch = near:%v far:%v, want near:[0] far:[1]", asg[0], asg[1])
+	}
+
+	// Full-trace means (the oracle view) would place both VMs near —
+	// the window is what keeps the future out of the decision.
+	asg, err = Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg[0]) != 2 {
+		t.Errorf("full-window dispatch = near:%v far:%v; expected both near (the distinction under test)",
+			asg[0], asg[1])
+	}
+}
+
+func TestFollowTheLoadPrefersLowLatency(t *testing.T) {
+	tr := testTrace(t, 1, 90, 1)
+	f := Fleet{Name: "lat", Dispatcher: "follow-the-load", DCs: []DCSpec{
+		{Name: "far", LatencyMs: 100},
+		{Name: "near", LatencyMs: 5},
+	}}
+	asg, err := Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPartition(t, asg, 90)
+	if len(asg[1]) <= len(asg[0]) {
+		t.Errorf("follow-the-load sent %d VMs near vs %d far; want the low-latency DC to attract more",
+			len(asg[1]), len(asg[0]))
+	}
+}
+
+func newTestPolicy(m *power.ServerModel) (alloc.Policy, error) {
+	return &alloc.EPACT{Model: m}, nil
+}
+
+// TestSingleFleetMatchesPlainSimulation pins the identity that lets
+// the sweep engine route every scenario through the topology layer:
+// the "single" fleet reproduces a plain dcsim run bit-for-bit.
+func TestSingleFleetMatchesPlainSimulation(t *testing.T) {
+	tr := testTrace(t, 2018, 30, 2)
+	ps, err := dcsim.Predict(tr, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := Spec{Ref: "single"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := Run(Config{
+		Fleet:       fleet,
+		Trace:       tr,
+		Predictions: ps,
+		HistoryDays: 1,
+		EvalDays:    1,
+		MaxServers:  30,
+		NewPolicy:   newTestPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := power.NTCServer()
+	direct, err := dcsim.Run(dcsim.Config{
+		Trace:       tr,
+		Predictions: ps,
+		HistoryDays: 1,
+		EvalDays:    1,
+		Policy:      &alloc.EPACT{Model: model},
+		Server:      model,
+		Platform:    platform.NTCServer(),
+		MaxServers:  30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fres.TotalEnergyMJ != direct.TotalEnergy.MJ() {
+		t.Errorf("single fleet energy %v != plain %v", fres.TotalEnergyMJ, direct.TotalEnergy.MJ())
+	}
+	if fres.Violations != direct.TotalViol || fres.PeakActive != direct.PeakActive ||
+		fres.MeanActive != direct.MeanActive || fres.Slots != len(direct.Slots) {
+		t.Errorf("single fleet aggregates diverge: %+v vs sim", fres)
+	}
+	if fres.MeanPlannedFreqGHz != direct.MeanPlannedFreqGHz() {
+		t.Errorf("single fleet freq %v != plain %v", fres.MeanPlannedFreqGHz, direct.MeanPlannedFreqGHz())
+	}
+	if len(fres.DCs) != 1 || fres.DCs[0].VMs != 30 {
+		t.Errorf("single fleet per-DC rows = %+v", fres.DCs)
+	}
+}
+
+// TestFleetRunConservesVMsAndEnergy checks fleet accounting: per-DC
+// VMs partition the population, facility energy is the PUE-weighted
+// sum, and the EP score is within range.
+func TestFleetRunConservesVMsAndEnergy(t *testing.T) {
+	tr := testTrace(t, 7, 48, 2)
+	ps, err := dcsim.Predict(tr, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disp := range DispatcherNames() {
+		fleet, err := Spec{Dispatcher: disp, Ref: "triad"}.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres, err := Run(Config{
+			Fleet:       fleet,
+			Trace:       tr,
+			Predictions: ps,
+			HistoryDays: 1,
+			EvalDays:    1,
+			MaxServers:  48,
+			NewPolicy:   newTestPolicy,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", disp, err)
+		}
+		vms, energy, viol := 0, 0.0, 0
+		for _, dc := range fres.DCs {
+			vms += dc.VMs
+			energy += dc.EnergyMJ
+			viol += dc.Violations
+			if dc.Result != nil && dc.EnergyMJ != dc.ITEnergyMJ*dc.Spec.PUE {
+				t.Errorf("%s: DC %s facility energy %v != IT %v × PUE %v",
+					disp, dc.Spec.Name, dc.EnergyMJ, dc.ITEnergyMJ, dc.Spec.PUE)
+			}
+		}
+		if vms != 48 {
+			t.Errorf("%s: per-DC VMs sum to %d, want 48", disp, vms)
+		}
+		if energy != fres.TotalEnergyMJ {
+			t.Errorf("%s: per-DC energies sum to %v, fleet says %v", disp, energy, fres.TotalEnergyMJ)
+		}
+		if viol != fres.Violations {
+			t.Errorf("%s: per-DC violations sum to %d, fleet says %d", disp, viol, fres.Violations)
+		}
+		if fres.EPScore < 0 || fres.EPScore > 1 {
+			t.Errorf("%s: EP score %v outside [0,1]", disp, fres.EPScore)
+		}
+		if fres.TotalEnergyMJ <= 0 {
+			t.Errorf("%s: fleet consumed no energy", disp)
+		}
+	}
+}

@@ -23,6 +23,12 @@
 // cluster dumps normalised by the cluster adapter (ReadClusterCSV).
 // Formats and normalisation rules are specified in docs/TRACES.md.
 //
+// A Trace is the unit the rest of the system composes over: the
+// sweep engine ingests one per backend spec and shares it read-only
+// across scenarios, and the topology layer partitions its VMs across
+// the datacenters of a fleet — always after any churn mutation, so
+// concurrent consumers never alias mutable state.
+//
 // Conventions: CPU utilisation is percent of one core at the
 // platform's maximum frequency; memory utilisation is percent of the
 // VM's 1 GB container; one sample every 5 minutes (DefaultInterval),

@@ -35,6 +35,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -100,7 +101,8 @@ type (
 	WeekConfig = experiments.DCConfig
 
 	// SweepGrid declares a scenario space (policy × pool × predictor
-	// × transitions × churn × seed) for the concurrent sweep engine.
+	// × transitions × churn × seed × trace source × topology) for the
+	// concurrent sweep engine.
 	SweepGrid = sweep.Grid
 
 	// SweepOptions tunes a sweep execution (worker count, progress).
@@ -112,6 +114,27 @@ type (
 
 	// SweepScenario is one concrete grid point.
 	SweepScenario = sweep.Scenario
+
+	// FleetTopology composes heterogeneous datacenters behind a
+	// cross-DC dispatch policy (the multi-datacenter sweep axis).
+	FleetTopology = topology.Fleet
+
+	// FleetDC is one datacenter of a fleet topology.
+	FleetDC = topology.DCSpec
+
+	// FleetResult is a completed fleet run with per-DC outcomes.
+	FleetResult = topology.FleetResult
+
+	// SweepDCResult is one datacenter's provenance slice of a fleet
+	// scenario row.
+	SweepDCResult = sweep.DCResult
+
+	// FleetWeekConfig parameterises the fleet-scale consolidation
+	// study (RunFleetWeek).
+	FleetWeekConfig = experiments.FleetWeekConfig
+
+	// FleetWeekRow is one (dispatcher, policy) fleet-week outcome.
+	FleetWeekRow = experiments.FleetWeekRow
 )
 
 // Workload classes (Section III-B).
@@ -168,6 +191,41 @@ func ParseTraceSource(spec string) (TraceSource, error) { return trace.ParseSour
 
 // TraceBackends lists the registered trace-ingestion backend names.
 func TraceBackends() []string { return trace.Backends() }
+
+// ParseTopology parses and loads a fleet-topology spec
+// ("[dispatcher@]builtin" or "[dispatcher@]fleet.json", e.g.
+// "greedy-proportional@triad"). The returned fleet is unresolved:
+// relative datacenters are sized against a scenario's pool at run
+// time.
+func ParseTopology(spec string) (FleetTopology, error) {
+	s, err := topology.ParseSpec(spec)
+	if err != nil {
+		return FleetTopology{}, err
+	}
+	return s.Load()
+}
+
+// TopologyDispatchers lists the cross-DC dispatch policies a fleet
+// spec accepts.
+func TopologyDispatchers() []string { return topology.DispatcherNames() }
+
+// BuiltinTopologies lists the built-in fleet names.
+func BuiltinTopologies() []string { return topology.BuiltinFleets() }
+
+// DefaultFleetWeekConfig returns the fleet-scale study at the paper's
+// scale: 600 VMs over one evaluated week with ARIMA predictions,
+// dispatched across the builtin heterogeneous "triad" fleet under
+// every dispatch policy.
+func DefaultFleetWeekConfig() FleetWeekConfig {
+	return FleetWeekConfig{DC: experiments.DefaultDCConfig()}
+}
+
+// RunFleetWeek runs the multi-datacenter consolidation comparison:
+// every cross-DC dispatcher × per-DC allocation policy on one fleet,
+// sharing one trace and one prediction set across all combinations.
+func RunFleetWeek(cfg FleetWeekConfig) ([]FleetWeekRow, error) {
+	return experiments.FleetWeek(cfg)
+}
 
 // OpenSweepCache prepares an incremental sweep-result store rooted at
 // dir ("off" returns the nil no-caching store).
