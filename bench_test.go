@@ -9,6 +9,7 @@ package ntcdc
 // cmd/ntc-repro runs the full paper scale.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dcsim"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
 	"repro/internal/trace"
 )
 
@@ -230,6 +232,25 @@ func BenchmarkSweepGrid(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDistLocalSweep runs the same 24-scenario grid through the
+// distributed coordinator/worker protocol (in-process transport, 4
+// workers) — the overhead of leasing, JSON rows and deterministic
+// merge relative to BenchmarkSweepGrid's plain pool.
+func BenchmarkDistLocalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := dist.RunLocal(context.Background(), benchSweepGrid(), 4, dist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Runs) != 24 {
+			b.Fatal("bad sweep")
+		}
 	}
 }
 

@@ -1,0 +1,204 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON snapshot (benchstat-style ns/op per benchmark) and gates
+// regressions against a committed baseline — the perf trajectory of
+// the repo, recorded per commit by CI.
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 ./... | benchjson -out BENCH_$(git rev-parse HEAD).json
+//	benchjson -in bench.txt -baseline BENCH_baseline.json -max-regression 25
+//
+// Conversion keeps the minimum ns/op across -count repetitions (the
+// least-noise estimate: the fastest observed run is the one with the
+// least interference) and strips the GOMAXPROCS suffix from benchmark
+// names so snapshots compare across machines.
+//
+// The gate fails (non-zero exit) when any baseline benchmark regresses
+// by more than -max-regression percent, or disappeared from the
+// current run — a deleted benchmark must update the baseline, never
+// silently shrink the gate's coverage. New benchmarks pass and are
+// reported, so the baseline can be refreshed deliberately.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one benchmark's snapshot.
+type Entry struct {
+	// NsPerOp is the minimum ns/op observed across repetitions.
+	NsPerOp float64 `json:"ns_per_op"`
+
+	// Runs is how many repetitions were observed.
+	Runs int `json:"runs"`
+}
+
+// File is the snapshot format (BENCH_<sha>.json / BENCH_baseline.json).
+type File struct {
+	// Note is free-form provenance ("committed baseline", a commit id).
+	Note string `json:"note,omitempty"`
+
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// its snapshot. encoding/json emits keys sorted, so the file is
+	// byte-stable for one input.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "-", `benchmark output to read ("-" = stdin)`)
+		out      = fs.String("out", "", "write the JSON snapshot here")
+		baseline = fs.String("baseline", "", "gate against this committed snapshot")
+		maxReg   = fs.Float64("max-regression", 25, "fail when a benchmark slows down by more than this percent vs the baseline")
+		minNs    = fs.Float64("min-ns", 0, "gate only benchmarks whose baseline is at least this many ns/op (microbenchmarks are noise-dominated at low -benchtime)")
+		note     = fs.String("note", "", "provenance note stored in the snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *out == "" && *baseline == "" {
+		return fmt.Errorf("nothing to do: pass -out and/or -baseline")
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	cur, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results in %s", *in)
+	}
+	cur.Note = *note
+
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(cur.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		var base File
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing %s: %w", *baseline, err)
+		}
+		if err := Gate(stdout, base, cur, *maxReg, *minNs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "gate ok: no benchmark regressed more than %g%% vs %s\n", *maxReg, *baseline)
+	}
+	return nil
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkFig7-8   	       3	 120531431 ns/op
+//	BenchmarkSweepGrid/serial-workers=1-8         	       3	  52304219 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Parse reads `go test -bench` output into a snapshot, folding -count
+// repetitions of one benchmark into their minimum ns/op.
+func Parse(r io.Reader) (File, error) {
+	out := File{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return File{}, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		e, seen := out.Benchmarks[m[1]]
+		if !seen || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		e.Runs++
+		out.Benchmarks[m[1]] = e
+	}
+	return out, sc.Err()
+}
+
+// Gate compares a current snapshot against the baseline and returns
+// an error naming every benchmark that regressed beyond maxPercent or
+// vanished. Benchmarks whose baseline is under minNs are reported but
+// not gated — at CI's low -benchtime, microsecond-scale results are
+// noise-dominated and would make the gate cry wolf. New benchmarks
+// are reported on w but never fail the gate.
+func Gate(w io.Writer, base, cur File, maxPercent, minNs float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from the current run (update the baseline if it was removed deliberately)", name))
+			continue
+		}
+		change := (c.NsPerOp/b.NsPerOp - 1) * 100
+		if b.NsPerOp < minNs {
+			fmt.Fprintf(w, "%s: %.0f ns/op vs %.0f baseline (%+.1f%%, under the %g ns gate floor)\n",
+				name, c.NsPerOp, b.NsPerOp, change, minNs)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op vs %.0f baseline (%+.1f%%)\n", name, c.NsPerOp, b.NsPerOp, change)
+		if change > maxPercent {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs %.0f baseline (%+.1f%% > %g%%)",
+				name, c.NsPerOp, b.NsPerOp, change, maxPercent))
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%s: new benchmark, not in the baseline\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		msg := "performance regressions vs baseline:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: SomeCPU
+BenchmarkTableI-8   	       3	     53318 ns/op
+BenchmarkTableI-8   	       3	     51000 ns/op
+BenchmarkTableI-8   	       3	     52500 ns/op
+BenchmarkSweepGrid/serial-workers=1-8         	       3	  52304219 ns/op
+BenchmarkSweepGrid/serial-workers=1-8         	       3	  51904219 ns/op
+BenchmarkSweepGrid/parallel-workers=8-8       	       3	  12304219 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseFoldsCountsAndStripsSuffix(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	// The GOMAXPROCS suffix is stripped, the sub-benchmark path kept.
+	e, ok := f.Benchmarks["BenchmarkTableI"]
+	if !ok {
+		t.Fatalf("BenchmarkTableI missing (suffix not stripped?): %+v", f.Benchmarks)
+	}
+	if e.NsPerOp != 51000 || e.Runs != 3 {
+		t.Errorf("TableI = %+v, want min 51000 over 3 runs", e)
+	}
+	s, ok := f.Benchmarks["BenchmarkSweepGrid/serial-workers=1"]
+	if !ok || s.NsPerOp != 51904219 || s.Runs != 2 {
+		t.Errorf("sub-benchmark = %+v ok=%v, want min 51904219 over 2 runs", s, ok)
+	}
+}
+
+func snapshot(ns map[string]float64) File {
+	f := File{Benchmarks: map[string]Entry{}}
+	for name, v := range ns {
+		f.Benchmarks[name] = Entry{NsPerOp: v, Runs: 3}
+	}
+	return f
+}
+
+func TestGate(t *testing.T) {
+	base := snapshot(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+
+	// Within threshold (and an unrelated new benchmark): pass.
+	var buf bytes.Buffer
+	cur := snapshot(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 190, "BenchmarkNew": 5})
+	if err := Gate(&buf, base, cur, 25, 0); err != nil {
+		t.Errorf("within-threshold gate failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "BenchmarkNew: new benchmark") {
+		t.Errorf("new benchmark not reported:\n%s", buf.String())
+	}
+
+	// Beyond threshold: fail, naming the offender.
+	cur = snapshot(map[string]float64{"BenchmarkA": 126, "BenchmarkB": 190})
+	err := Gate(&bytes.Buffer{}, base, cur, 25, 0)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("regression gate error = %v, want BenchmarkA named", err)
+	}
+
+	// The same regression under the noise floor is reported, not gated
+	// (microbenchmarks are noise-dominated at low -benchtime)...
+	buf.Reset()
+	if err := Gate(&buf, base, cur, 25, 150); err != nil {
+		t.Errorf("under-floor regression failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "under the 150 ns gate floor") {
+		t.Errorf("floor skip not reported:\n%s", buf.String())
+	}
+	// ...but a benchmark above the floor still gates.
+	cur = snapshot(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 300})
+	if err := Gate(&bytes.Buffer{}, base, cur, 25, 150); err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Errorf("above-floor regression error = %v, want BenchmarkB named", err)
+	}
+
+	// A benchmark vanishing from the current run fails the gate.
+	cur = snapshot(map[string]float64{"BenchmarkA": 100})
+	err = Gate(&bytes.Buffer{}, base, cur, 25, 0)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Errorf("missing-benchmark gate error = %v, want BenchmarkB named", err)
+	}
+}
+
+// TestEndToEnd drives the CLI: convert sample output to JSON, then
+// gate a run against the snapshot it just wrote (self vs self passes).
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out, "-note", "test snapshot"}, &stdout, &stderr); err != nil {
+		t.Fatalf("convert: %v\n%s", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if f.Note != "test snapshot" || len(f.Benchmarks) != 3 {
+		t.Errorf("snapshot = %+v, want note and 3 benchmarks", f)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-in", in, "-baseline", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("self-gate: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate ok") {
+		t.Errorf("gate output missing verdict:\n%s", stdout.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	real := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(real, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no-action", []string{"-in", in}, "nothing to do"},
+		{"empty-input", []string{"-in", in, "-out", filepath.Join(dir, "x.json")}, "no benchmark results"},
+		{"missing-input", []string{"-in", "/does/not/exist", "-out", "x.json"}, "no such file"},
+		{"missing-baseline", []string{"-in", real, "-baseline", "/does/not/exist"}, "no such file"},
+		{"stray-args", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("run(%v) = %v, want mention of %q", c.args, err, c.want)
+			}
+		})
+	}
+}

@@ -23,22 +23,37 @@
 //
 //	ntc-sweep -topology single,uniform@triad,greedy-proportional@triad -days 2
 //
-// The CSV/JSON output is byte-identical for any -workers value and
-// any cache state: the engine seeds every scenario deterministically,
-// orders results by grid expansion, and keeps execution metadata
-// (timing, load and cache statistics) out of both serialisations.
+// Sweeps also run distributed (see docs/DISTRIBUTED.md): -serve makes
+// this process the coordinator for a grid, -worker joins a running
+// coordinator from any machine sharing the input files, and
+// -dist local:N runs the whole coordinator/worker protocol in-process.
+//
+//	ntc-sweep -grid grid.json -cache rw -cache-dir store -serve :8700
+//	ntc-sweep -worker coordinator-host:8700
+//	ntc-sweep -grid grid.json -dist local:8
+//
+// The CSV/JSON output is byte-identical for any -workers value, any
+// cache state, and any distributed worker count: the engine seeds
+// every scenario deterministically, orders results by grid expansion,
+// and keeps execution metadata (timing, load and cache statistics)
+// out of both serialisations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
+	"repro/internal/sweep/dist"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -76,12 +91,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csvPath     = fs.String("csv", "", "write the CSV table here instead of stdout")
 		jsonPath    = fs.String("json", "", "also write full results as JSON here")
 		quiet       = fs.Bool("quiet", false, "suppress the summary")
+		serveAddr   = fs.String("serve", "", "run as distributed-sweep coordinator on this address (host:port; see docs/DISTRIBUTED.md)")
+		workerAddr  = fs.String("worker", "", "run as a distributed-sweep worker against the coordinator at this address")
+		distSpec    = fs.String("dist", "", `distributed execution in one process: "local:N" = coordinator + N workers`)
+		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "distributed modes: re-lease a scenario not completed within this window (crashed-worker retry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	// The distributed modes are mutually exclusive ways to execute
+	// one grid (and -worker executes someone else's grid).
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	modes := 0
+	for _, m := range []string{*serveAddr, *workerAddr, *distSpec} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-serve, -worker and -dist are mutually exclusive")
+	}
+	// Validate the -dist spec up front with the other flag checks —
+	// a typo should fail before any banner or cache directory I/O.
+	distWorkers := 0
+	if *distSpec != "" {
+		var err error
+		if distWorkers, err = parseDistSpec(*distSpec); err != nil {
+			return err
+		}
+	}
+	if (*serveAddr != "" || *distSpec != "") && set["workers"] {
+		return fmt.Errorf("-workers applies to the in-process pool only; distributed modes size their own worker sets")
+	}
+	if *workerAddr != "" {
+		// A worker owns nothing: the coordinator defines the grid,
+		// the cache and the outputs. Any other flag (allowlist aside)
+		// is a command line that reads like it does something it
+		// doesn't — the allowlist keeps this check correct as flags
+		// are added.
+		allowed := map[string]bool{"worker": true, "quiet": true}
+		for f := range set {
+			if !allowed[f] {
+				return fmt.Errorf("-worker and -%s are mutually exclusive (the coordinator owns the grid, cache and outputs)", f)
+			}
+		}
+		// Remote workers poll gently: the in-process default (25 ms)
+		// is tuned for goroutines sharing a mutex, not for N machines
+		// hammering one coordinator over HTTP while starved.
+		n, err := dist.Work(context.Background(), dist.NewClient(*workerAddr), dist.WorkerOptions{Poll: 2 * time.Second})
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "worker: executed %d scenarios for %s\n", n, *workerAddr)
+		}
+		return nil
 	}
 
 	mode, err := cache.ParseMode(*cacheMode)
@@ -138,7 +207,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "running %d scenarios...\n", len(scens))
 	}
 
-	res, err := sweep.Run(g, sweep.Options{Workers: *workers, Cache: store})
+	var res *sweep.Results
+	switch {
+	case *serveAddr != "":
+		res, err = serveCoordinator(*serveAddr, g, store, *leaseTTL, *quiet, stderr)
+	case *distSpec != "":
+		var stats dist.Stats
+		res, stats, err = dist.RunLocal(context.Background(), g, distWorkers, dist.Options{Cache: store, LeaseTTL: *leaseTTL})
+		if err == nil && !*quiet {
+			printDistStats(stderr, stats)
+		}
+	default:
+		res, err = sweep.Run(g, sweep.Options{Workers: *workers, Cache: store})
+	}
 	if err != nil {
 		return err
 	}
@@ -174,6 +255,64 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Scenario failures are recorded in the table; surface them on
 	// the exit code too.
 	return res.Failed()
+}
+
+// serveCoordinator runs a distributed sweep's coordinator: serve the
+// HTTP/JSON worker protocol on addr until every scenario has a row,
+// then linger briefly so polling workers observe the done signal
+// before the listener closes, and return the merged results.
+func serveCoordinator(addr string, g sweep.Grid, store *cache.Store, ttl time.Duration, quiet bool, stderr io.Writer) (*sweep.Results, error) {
+	c, err := dist.NewCoordinator(g, dist.Options{Cache: store, LeaseTTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(stderr, "coordinator: listening on %s\n", ln.Addr())
+	}
+	srv := &http.Server{Handler: dist.NewHandler(c)}
+	go srv.Serve(ln) //nolint:errcheck // Shutdown below is the exit path
+
+	res, err := c.Wait(context.Background())
+	// Linger so workers sleeping in their poll interval (2 s for
+	// remote workers) observe the done signal before the listener
+	// closes; their retry backoff bridges the remainder. A fully warm
+	// sweep that no worker ever executed for has nobody to signal.
+	if c.Stats().Workers > 0 {
+		time.Sleep(3 * time.Second)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		printDistStats(stderr, c.Stats())
+	}
+	return res, nil
+}
+
+// parseDistSpec parses the -dist value ("local:N").
+func parseDistSpec(spec string) (int, error) {
+	rest, ok := strings.CutPrefix(spec, "local:")
+	if !ok {
+		return 0, fmt.Errorf(`-dist: unknown spec %q (want "local:N")`, spec)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf(`-dist: worker count in %q must be a positive integer`, spec)
+	}
+	return n, nil
+}
+
+// printDistStats reports coordinator traffic next to the summary.
+func printDistStats(w io.Writer, s dist.Stats) {
+	fmt.Fprintf(w, "dist: %d units (%d cache hits), %d leases to %d workers, %d renewed, %d expired, %d stale, %d duplicate\n",
+		s.Units, s.CacheHits, s.Leases, s.Workers, s.Renewals, s.Expired, s.Stale, s.Duplicates)
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -304,6 +307,133 @@ func TestGridFileAndOutputFiles(t *testing.T) {
 	}
 }
 
+// TestDistLocalDeterminismAndWarmCache is the distributed
+// acceptance criterion at the CLI level: the same grid through the
+// plain engine and through `-dist local:4` (coordinator + 4 workers
+// over the in-process transport) must produce byte-identical CSV, and
+// a warm re-run over the shared result store must lease nothing and
+// execute zero scenarios.
+func TestDistLocalDeterminismAndWarmCache(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	var engine, engineErr bytes.Buffer
+	if err := run(sweepArgs("-workers", "2", "-quiet"), &engine, &engineErr); err != nil {
+		t.Fatalf("engine run: %v\n%s", err, engineErr.String())
+	}
+
+	var cold, coldErr bytes.Buffer
+	if err := run(sweepArgs("-dist", "local:4", "-cache", "rw", "-cache-dir", cacheDir), &cold, &coldErr); err != nil {
+		t.Fatalf("dist run: %v\n%s", err, coldErr.String())
+	}
+	if cold.String() != engine.String() {
+		t.Errorf("-dist local:4 CSV differs from the engine:\n%s\nvs\n%s", cold.String(), engine.String())
+	}
+	if !strings.Contains(coldErr.String(), "dist: 24 units (0 cache hits)") {
+		t.Errorf("cold dist summary missing stats:\n%s", coldErr.String())
+	}
+
+	var warm, warmErr bytes.Buffer
+	if err := run(sweepArgs("-dist", "local:4", "-cache", "rw", "-cache-dir", cacheDir), &warm, &warmErr); err != nil {
+		t.Fatalf("warm dist run: %v\n%s", err, warmErr.String())
+	}
+	if warm.String() != engine.String() {
+		t.Errorf("warm -dist CSV differs from the engine:\n%s", warm.String())
+	}
+	stderr := warmErr.String()
+	if !strings.Contains(stderr, "dist: 24 units (24 cache hits), 0 leases to 0 workers") {
+		t.Errorf("warm cluster leased work:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "cache: 24 hits, 0 misses, 0 rows written") {
+		t.Errorf("warm cluster summary shows executions:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "0 traces built for 0 requests") {
+		t.Errorf("warm cluster ingested inputs:\n%s", stderr)
+	}
+}
+
+// syncBuffer lets the serve goroutine and the test poll stderr
+// concurrently (the test scrapes the coordinator's bound address).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeWorkerEndToEndDeterminism runs the real two-process topology inside
+// one test binary: `-serve 127.0.0.1:0` as the coordinator and two
+// `-worker` invocations against the scraped address. The coordinator's
+// CSV must match the plain engine's.
+func TestServeWorkerEndToEndDeterminism(t *testing.T) {
+	var engine, engineErr bytes.Buffer
+	if err := run(sweepArgs("-workers", "2", "-quiet"), &engine, &engineErr); err != nil {
+		t.Fatalf("engine run: %v\n%s", err, engineErr.String())
+	}
+
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+	serveErrs := &syncBuffer{}
+	serveDone := make(chan error, 1)
+	go func() {
+		var stdout bytes.Buffer
+		serveDone <- run(sweepArgs("-serve", "127.0.0.1:0", "-csv", csvPath), &stdout, serveErrs)
+	}()
+
+	// Scrape the bound address from the coordinator's stderr.
+	addrRe := regexp.MustCompile(`coordinator: listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); addr == ""; {
+		if m := addrRe.FindStringSubmatch(serveErrs.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never reported its address:\n%s", serveErrs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var stdout, stderr bytes.Buffer
+			workerErrs[i] = run([]string{"-worker", addr}, &stdout, &stderr)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, serveErrs.String())
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(csv) != engine.String() {
+		t.Errorf("-serve/-worker CSV differs from the engine:\n%s\nvs\n%s", csv, engine.String())
+	}
+	if !strings.Contains(serveErrs.String(), "dist: 24 units") {
+		t.Errorf("coordinator summary missing dist stats:\n%s", serveErrs.String())
+	}
+}
+
 // TestBadFlagsSurfaceErrors: every unknown axis value must produce a
 // clear error and a non-zero exit (run returning an error), never a
 // panic or an empty table.
@@ -329,6 +459,14 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		{"unknown-cache-mode", []string{"-cache", "readwrite"}, "unknown mode"},
 		{"cache-without-dir", []string{"-cache", "rw"}, "needs a cache directory"},
 		{"stray-args", []string{"extra"}, "unexpected arguments"},
+		{"bad-dist-spec", []string{"-dist", "remote:4"}, "unknown spec"},
+		{"zero-dist-workers", []string{"-dist", "local:0"}, "positive integer"},
+		{"serve-plus-dist", []string{"-serve", ":0", "-dist", "local:2"}, "mutually exclusive"},
+		{"worker-plus-serve", []string{"-worker", "x:1", "-serve", ":0"}, "mutually exclusive"},
+		{"worker-plus-grid", []string{"-worker", "x:1", "-grid", "g.json"}, "mutually exclusive"},
+		{"worker-plus-axis", []string{"-worker", "x:1", "-policies", "EPACT"}, "mutually exclusive"},
+		{"worker-plus-csv", []string{"-worker", "x:1", "-csv", "out.csv"}, "mutually exclusive"},
+		{"dist-plus-workers", []string{"-dist", "local:2", "-workers", "4"}, "in-process pool"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

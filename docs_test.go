@@ -81,7 +81,7 @@ func TestREADMELinksDesignDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md", "docs/DISTRIBUTED.md"} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("README.md does not link %s", want)
 		}

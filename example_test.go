@@ -1,6 +1,7 @@
 package ntcdc_test
 
 import (
+	"context"
 	"fmt"
 
 	ntcdc "repro"
@@ -87,4 +88,32 @@ func ExampleWithBodyBias() {
 	f := ntcdc.GHz(1.0)
 	fmt.Println(rbb.LeakageScale(f) < 0.5*tech.LeakageScale(f))
 	// Output: true
+}
+
+// A distributed sweep in one process: the coordinator/worker protocol
+// over the in-process transport emits exactly what RunSweep does.
+func ExampleRunDistributedSweep() {
+	grid := ntcdc.SweepGrid{
+		Policies:    []string{"EPACT", "COAT"},
+		VMs:         []int{20},
+		MaxServers:  []int{20},
+		HistoryDays: 1,
+		EvalDays:    1,
+		Predictors:  []string{"oracle"},
+	}
+	res, stats, err := ntcdc.RunDistributedSweep(context.Background(), grid, 2, ntcdc.DistOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	single, err := ntcdc.RunSweep(grid, ntcdc.SweepOptions{Workers: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("units:", stats.Units)
+	fmt.Println("byte-identical to the engine:", res.CSV() == single.CSV())
+	// Output:
+	// units: 2
+	// byte-identical to the engine: true
 }

@@ -1,0 +1,219 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// WorkerOptions tunes one worker loop.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (lease ownership,
+	// stats). Empty derives one from the hostname and PID.
+	Name string
+
+	// Batch is how many units to lease per request; <= 0 means 4 — a
+	// balance between round trips and lease-retry granularity (a
+	// crashed worker re-runs at most one batch).
+	Batch int
+
+	// Poll is how long to sleep when everything is leased elsewhere;
+	// <= 0 means 25 ms.
+	Poll time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.Batch <= 0 {
+		o.Batch = 4
+	}
+	if o.Poll <= 0 {
+		o.Poll = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Work runs one worker loop against a coordinator: fetch the grid,
+// build a Runner, then lease-execute-complete until the coordinator
+// reports the sweep done. It returns how many units this worker
+// executed. Scenario failures are rows, not errors; Work fails only
+// on transport or grid problems.
+func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
+	opt = opt.withDefaults()
+	g, err := b.Grid(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("dist: fetching grid: %w", err)
+	}
+	rn, err := sweep.NewRunner(g)
+	if err != nil {
+		return 0, fmt.Errorf("dist: %w", err)
+	}
+
+	// Transient transport failures (a coordinator restarting, a
+	// dropped connection) are retried with growing backoff before the
+	// worker gives up — wide enough to bridge a brief outage, and the
+	// coordinator's Complete is idempotent so re-sends are safe. The
+	// in-process transport never errors.
+	backoffs := []time.Duration{0, opt.Poll, 10 * opt.Poll, 40 * opt.Poll}
+	withRetry := func(op func() error) error {
+		var err error
+		for _, wait := range backoffs {
+			if wait > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(wait):
+				}
+			}
+			if err = op(); err == nil {
+				return nil
+			}
+			if isPermanent(err) {
+				// A protocol rejection (4xx) cannot be retried into
+				// success; surface it immediately and loudly.
+				return err
+			}
+		}
+		return err
+	}
+
+	executed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return executed, err
+		}
+		var reply LeaseReply
+		err := withRetry(func() (err error) {
+			reply, err = b.Lease(ctx, opt.Name, opt.Batch)
+			return err
+		})
+		if err != nil {
+			return executed, fmt.Errorf("dist: leasing: %w", err)
+		}
+		if len(reply.Units) == 0 {
+			if reply.Done {
+				return executed, nil
+			}
+			// Everything is leased elsewhere; poll until a lease
+			// expires or the sweep finishes.
+			select {
+			case <-ctx.Done():
+				return executed, ctx.Err()
+			case <-time.After(opt.Poll):
+			}
+			continue
+		}
+
+		// While the batch executes, a background loop renews its
+		// leases at TTL/3 so a scenario slower than the TTL is not
+		// presumed crashed and redundantly re-leased elsewhere.
+		// Renewal is best-effort: if it fails the lease just expires
+		// and the determinism contract absorbs the duplicate.
+		stopRenew := make(chan struct{})
+		var renewWG sync.WaitGroup
+		if reply.TTL > 0 {
+			refs := make([]UnitRef, len(reply.Units))
+			for i, u := range reply.Units {
+				refs[i] = UnitRef{Seq: u.Seq, Lease: u.Lease}
+			}
+			// Floor the interval so a pathological sub-3ns TTL cannot
+			// panic the ticker; such leases simply expire unrenewed.
+			interval := reply.TTL / 3
+			if interval < time.Millisecond {
+				interval = time.Millisecond
+			}
+			renewWG.Add(1)
+			go func() {
+				defer renewWG.Done()
+				t := time.NewTicker(interval)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopRenew:
+						return
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						_ = b.Renew(ctx, opt.Name, refs)
+					}
+				}
+			}()
+		}
+
+		before := rn.LoadStats()
+		results := make([]UnitResult, len(reply.Units))
+		for i, u := range reply.Units {
+			// The worker's own cache key rides along so the
+			// coordinator can detect divergent file-backed inputs
+			// before accepting (and caching) the row.
+			key, _ := rn.CacheKey(u.Scenario)
+			results[i] = UnitResult{Seq: u.Seq, Lease: u.Lease, Row: rn.Exec(u.Scenario), Key: key}
+		}
+		close(stopRenew)
+		renewWG.Wait()
+		after := rn.LoadStats()
+		delta := sweep.LoadStats{
+			TraceRequests:   after.TraceRequests - before.TraceRequests,
+			TraceBuilds:     after.TraceBuilds - before.TraceBuilds,
+			PredictRequests: after.PredictRequests - before.PredictRequests,
+			PredictBuilds:   after.PredictBuilds - before.PredictBuilds,
+		}
+		if err := withRetry(func() error {
+			return b.Complete(ctx, opt.Name, results, delta)
+		}); err != nil {
+			return executed, fmt.Errorf("dist: completing: %w", err)
+		}
+		executed += len(results)
+	}
+}
+
+// RunLocal runs the whole distributed pipeline in one process: a
+// coordinator plus n worker goroutines over the in-process transport
+// (`ntc-sweep -dist local:N`). It exercises the exact protocol a real
+// cluster runs — leases, batching, cache read-through/write-back —
+// minus the network, and returns the merged results and traffic
+// stats. n <= 0 means GOMAXPROCS.
+func RunLocal(ctx context.Context, g sweep.Grid, n int, opt Options) (*sweep.Results, Stats, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c, err := NewCoordinator(g, opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := Work(ctx, c, WorkerOptions{Name: fmt.Sprintf("local-%d", i)}); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, c.Stats(), firstErr
+	}
+	res, err := c.Wait(ctx)
+	return res, c.Stats(), err
+}

@@ -165,7 +165,7 @@ func Run(g Grid, opt Options) (*Results, error) {
 	}
 
 	start := time.Now()
-	ld := &loader{}
+	rn := &Runner{grid: g, ld: &loader{}}
 	runs := make([]RunResult, len(scens))
 
 	var (
@@ -180,7 +180,7 @@ func Run(g Grid, opt Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runs[i] = cachedScenario(ld, g, scens[i], opt.Cache, func(err error) {
+				runs[i] = rn.CachedExec(scens[i], opt.Cache, func(err error) {
 					progMu.Lock()
 					if cacheErr == nil {
 						cacheErr = err
@@ -205,7 +205,7 @@ func Run(g Grid, opt Options) (*Results, error) {
 	return &Results{
 		Grid:     g,
 		Runs:     runs,
-		Load:     ld.stats(),
+		Load:     rn.LoadStats(),
 		Cache:    opt.Cache.Stats(),
 		CacheErr: cacheErr,
 		Workers:  workers,
@@ -257,12 +257,10 @@ func cachedScenario(ld *loader, g Grid, s Scenario, store *cache.Store, onPutErr
 		if k, ok := scenarioCacheKey(ld, g, s); ok {
 			key = k
 			if row, hit := store.Get(key); hit {
-				var r RunResult
 				// A row that does not decode back to this scenario is
 				// treated as corrupt and re-executed (the store has
 				// already counted the hit; correctness beats stats).
-				if err := json.Unmarshal(row, &r); err == nil && r.Scenario == s && r.Err == "" {
-					r.Cached = true
+				if r, ok := DecodeCachedRow(row, s); ok {
 					return r
 				}
 			}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"encoding/json"
+
+	"repro/internal/sweep/cache"
+)
+
+// Runner is the per-process execution core of the sweep engine: it
+// executes individual scenarios of one validated grid with shared
+// memoized input loading (traces, prediction sets, fleet definitions).
+// Both the in-process worker pool (Run) and the distributed workers
+// (internal/sweep/dist) drive a Runner; the only difference between
+// the two is who hands it scenarios.
+//
+// A Runner is safe for concurrent use: the loader serialises input
+// builds per key and publishes them read-only, and every Exec builds
+// its mutable state (policy, server model, platform) fresh.
+type Runner struct {
+	grid Grid
+	ld   *loader
+}
+
+// NewRunner validates the grid (after defaulting) and returns a
+// Runner for it. The grid must be the same one scenarios were
+// expanded from: custom transition models are resolved against it.
+func NewRunner(g Grid) (*Runner, error) {
+	g = g.WithDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{grid: g, ld: &loader{}}, nil
+}
+
+// Grid returns the defaulted grid the Runner executes.
+func (r *Runner) Grid() Grid { return r.grid }
+
+// Exec runs one scenario. Failures are recorded in the row's Err
+// field, never returned — the sweep contract is one row per scenario.
+func (r *Runner) Exec(s Scenario) RunResult { return runScenario(r.ld, r.grid, s) }
+
+// CachedExec answers the scenario from the result store when it can,
+// executing and persisting it otherwise (see Options.Cache). onPutErr,
+// when non-nil, receives store write failures; results stay complete.
+func (r *Runner) CachedExec(s Scenario, store *cache.Store, onPutErr func(error)) RunResult {
+	return cachedScenario(r.ld, r.grid, s, store, onPutErr)
+}
+
+// CacheKey returns the content-addressed result-store key for s:
+// scenario identity + trace/topology content fingerprints + resolved
+// transition model + result schema version. ok=false means the
+// scenario is uncacheable right now (e.g. an unreadable trace or
+// fleet file); it then executes normally and fails with the canonical
+// ingestion error.
+func (r *Runner) CacheKey(s Scenario) (string, bool) {
+	return scenarioCacheKey(r.ld, r.grid, s)
+}
+
+// LoadStats snapshots the Runner's input-sharing counters.
+func (r *Runner) LoadStats() LoadStats { return r.ld.stats() }
+
+// DecodeCachedRow decodes a stored result row and validates it
+// against the scenario it is supposed to answer. ok=false means the
+// row is corrupt, records a failure, or belongs to a different
+// scenario — the caller must re-execute (correctness beats cache
+// stats). On ok the row is marked Cached.
+func DecodeCachedRow(row []byte, s Scenario) (RunResult, bool) {
+	var r RunResult
+	if err := json.Unmarshal(row, &r); err != nil || r.Scenario != s || r.Err != "" {
+		return RunResult{}, false
+	}
+	r.Cached = true
+	return r, true
+}

@@ -514,3 +514,84 @@ func TestFleetRunConservesVMsAndEnergy(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroShareDCIsNeverStarved pins the zero-share edge case: a DC
+// whose spec leaves Share at 0 gets the documented default of 1 — it
+// participates in dispatch and pool resolution like an explicit
+// share-1 DC, and is never silently starved (or, worse, divided by).
+func TestZeroShareDCIsNeverStarved(t *testing.T) {
+	tr := testTrace(t, 3, 40, 1)
+	f := Fleet{Name: "pair", DCs: []DCSpec{
+		{Name: "zero"}, // Share 0 -> defaults to 1
+		{Name: "one", Share: 1},
+	}}
+
+	for _, disp := range DispatcherNames() {
+		f.Dispatcher = disp
+		asg, err := Dispatch(f.Resolve(40), tr, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", disp, err)
+		}
+		assertPartition(t, asg, 40)
+		if len(asg[0]) == 0 {
+			t.Errorf("%s: zero-share DC received no VMs", disp)
+		}
+	}
+
+	// Uniform dispatch treats the defaulted share as equal weight.
+	f.Dispatcher = "uniform"
+	asg, err := Dispatch(f, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg[0]) != 20 || len(asg[1]) != 20 {
+		t.Errorf("uniform split with a defaulted share = %d/%d, want 20/20", len(asg[0]), len(asg[1]))
+	}
+
+	// Pool resolution gives the zero-share DC its equal half too.
+	r := f.Resolve(40)
+	if r.DCs[0].Servers != 20 || r.DCs[1].Servers != 20 {
+		t.Errorf("resolved pools = %d/%d, want 20/20", r.DCs[0].Servers, r.DCs[1].Servers)
+	}
+}
+
+// TestFollowTheLoadSingleDC pins the degenerate follow-the-load
+// fleet: with one datacenter there is nothing to balance — every VM
+// lands in it, in ascending ID order (the canonical replay order),
+// exactly like the uniform dispatcher on the same fleet.
+func TestFollowTheLoadSingleDC(t *testing.T) {
+	tr := testTrace(t, 4, 30, 1)
+	f, err := Spec{Dispatcher: "follow-the-load", Ref: "single"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := Dispatch(f, tr, trace.SamplesPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 1 || len(asg[0]) != 30 {
+		t.Fatalf("single-DC follow-the-load assignment = %v", asg)
+	}
+	for i, v := range asg[0] {
+		if v != i {
+			t.Fatalf("assignment not in ascending ID order at %d: %v", i, asg[0])
+		}
+	}
+
+	uni, err := Spec{Dispatcher: "uniform", Ref: "single"}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uasg, err := Dispatch(uni, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uasg[0]) != len(asg[0]) {
+		t.Fatalf("uniform and follow-the-load disagree on a single DC: %v vs %v", uasg, asg)
+	}
+	for i := range asg[0] {
+		if asg[0][i] != uasg[0][i] {
+			t.Errorf("single-DC dispatchers disagree at %d: %d vs %d", i, asg[0][i], uasg[0][i])
+		}
+	}
+}

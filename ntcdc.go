@@ -25,6 +25,9 @@
 package ntcdc
 
 import (
+	"context"
+	"net/http"
+
 	"repro/internal/alloc"
 	"repro/internal/dcsim"
 	"repro/internal/experiments"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
+	"repro/internal/sweep/dist"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -135,6 +139,26 @@ type (
 
 	// FleetWeekRow is one (dispatcher, policy) fleet-week outcome.
 	FleetWeekRow = experiments.FleetWeekRow
+
+	// SweepCoordinator owns one distributed sweep: it partitions a
+	// grid into leased work units, answers what the result store
+	// already holds, and merges returned rows back into deterministic
+	// expansion order (internal/sweep/dist).
+	SweepCoordinator = dist.Coordinator
+
+	// DistOptions tunes a distributed sweep (result store, lease TTL).
+	DistOptions = dist.Options
+
+	// DistStats reports a distributed sweep's traffic (units, cache
+	// hits, leases, expiries, workers).
+	DistStats = dist.Stats
+
+	// DistBackend is the worker-side view of a coordinator — the
+	// in-process Coordinator or an HTTP client (NewSweepWorkerClient).
+	DistBackend = dist.Backend
+
+	// SweepWorkerOptions tunes one worker loop (name, lease batch).
+	SweepWorkerOptions = dist.WorkerOptions
 )
 
 // Workload classes (Section III-B).
@@ -300,6 +324,36 @@ func DefaultWeekConfig() WeekConfig { return experiments.DefaultDCConfig() }
 // RunWeek runs the Figs. 4-6 comparison: EPACT vs COAT vs COAT-OPT on
 // one trace with shared predictions.
 func RunWeek(cfg WeekConfig) (*WeekResult, error) { return experiments.Fig4to6(cfg) }
+
+// NewSweepCoordinator prepares a distributed sweep over the grid:
+// units the result store answers are claimed immediately, the rest
+// wait to be leased by workers (RunSweepWorker). Serve it to remote
+// workers with NewSweepHandler, or drive it in-process.
+func NewSweepCoordinator(g SweepGrid, opt DistOptions) (*SweepCoordinator, error) {
+	return dist.NewCoordinator(g, opt)
+}
+
+// NewSweepHandler exposes a coordinator over the HTTP/JSON worker
+// protocol (see docs/DISTRIBUTED.md).
+func NewSweepHandler(c *SweepCoordinator) http.Handler { return dist.NewHandler(c) }
+
+// NewSweepWorkerClient returns the worker-side HTTP transport for a
+// coordinator at addr ("host:port" or an http:// URL).
+func NewSweepWorkerClient(addr string) DistBackend { return dist.NewClient(addr) }
+
+// RunSweepWorker runs one worker loop against a coordinator until the
+// sweep completes, returning how many scenarios this worker executed.
+func RunSweepWorker(ctx context.Context, b DistBackend, opt SweepWorkerOptions) (int, error) {
+	return dist.Work(ctx, b, opt)
+}
+
+// RunDistributedSweep runs the whole coordinator/worker protocol in
+// one process (n worker goroutines over the in-process transport) —
+// `ntc-sweep -dist local:N` as a library call. Results are
+// byte-identical to RunSweep on the same grid.
+func RunDistributedSweep(ctx context.Context, g SweepGrid, n int, opt DistOptions) (*SweepResults, DistStats, error) {
+	return dist.RunLocal(ctx, g, n, opt)
+}
 
 // RunSweep expands a scenario grid and executes it on a bounded
 // worker pool with shared trace/prediction loading. Results are

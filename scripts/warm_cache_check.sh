@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# End-to-end warm-cache gate (CI `golden` job): run the same grid
+# twice against one result store and prove the second run executed
+# nothing — 0 misses, 0 rows written, no trace ingested — while
+# emitting byte-identical CSV. Then prove the distributed path
+# (`-dist local:4`) reuses the same store without leasing a single
+# unit and still matches the bytes.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/ntc-sweep" ./cmd/ntc-sweep
+
+run_sweep() {
+    # $1 = csv output, $2 = stderr log, rest = extra flags
+    csv=$1; log=$2; shift 2
+    "$tmp/ntc-sweep" \
+        -policies EPACT,COAT -vms 24 -max-servers 24 \
+        -days 1 -history 1 -predictors oracle \
+        -cache rw -cache-dir "$tmp/cache" \
+        -csv "$csv" "$@" 2> "$log"
+}
+
+run_sweep "$tmp/a.csv" "$tmp/a.log"
+run_sweep "$tmp/b.csv" "$tmp/b.log"
+
+cmp "$tmp/a.csv" "$tmp/b.csv"
+grep -q "cache: 2 hits, 0 misses, 0 rows written" "$tmp/b.log"
+grep -q "0 traces built for 0 requests" "$tmp/b.log"
+
+run_sweep "$tmp/c.csv" "$tmp/c.log" -dist local:4
+cmp "$tmp/a.csv" "$tmp/c.csv"
+grep -q "dist: 2 units (2 cache hits), 0 leases to 0 workers" "$tmp/c.log"
+
+echo "warm-cache gate ok: second run executed 0 scenarios, bytes identical (engine and -dist local:4)"
