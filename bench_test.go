@@ -235,6 +235,35 @@ func BenchmarkSweepGrid(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRebalance measures the epoch rebalancer: one triad
+// scenario whose dispatch re-plans every 4 slots with migration
+// pricing and per-slot series stitching — the rebalance axis's unit
+// of work next to BenchmarkDCSimRun's static cost.
+func BenchmarkFleetRebalance(b *testing.B) {
+	g := sweep.Grid{
+		Policies:   []string{"EPACT"},
+		VMs:        []int{100},
+		MaxServers: []int{100},
+		EvalDays:   1,
+		Seeds:      []int64{2018},
+		Predictors: []string{"oracle"},
+		Topologies: []string{"uniform@triad"},
+		Rebalances: []string{"epoch:4@greedy-proportional"},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs[0].CrossDCMigrations == 0 {
+			b.Fatal("rebalancer moved nothing")
+		}
+	}
+}
+
 // BenchmarkDistLocalSweep runs the same 24-scenario grid through the
 // distributed coordinator/worker protocol (in-process transport, 4
 // workers) — the overhead of leasing, JSON rows and deterministic

@@ -188,10 +188,22 @@ func Gate(w io.Writer, base, cur File, maxPercent, minNs float64) error {
 				name, c.NsPerOp, b.NsPerOp, change, maxPercent))
 		}
 	}
+	// New benchmarks are listed deterministically (sorted) as
+	// informational lines — they never gate, but silently ignoring
+	// them would let the baseline's coverage rot as benches are added.
+	var fresh []string
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Fprintf(w, "%s: new benchmark, not in the baseline\n", name)
+			fresh = append(fresh, name)
 		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(w, "%s: new benchmark (%.0f ns/op), not in the baseline\n",
+			name, cur.Benchmarks[name].NsPerOp)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(w, "%d new benchmark(s) are not gated — refresh the baseline to cover them\n", len(fresh))
 	}
 	if len(failures) > 0 {
 		msg := "performance regressions vs baseline:"

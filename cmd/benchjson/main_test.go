@@ -56,14 +56,22 @@ func snapshot(ns map[string]float64) File {
 func TestGate(t *testing.T) {
 	base := snapshot(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
 
-	// Within threshold (and an unrelated new benchmark): pass.
+	// Within threshold (and unrelated new benchmarks): pass, with the
+	// new benches listed deterministically (sorted) and counted so a
+	// stale baseline is loud, never silently narrower.
 	var buf bytes.Buffer
-	cur := snapshot(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 190, "BenchmarkNew": 5})
+	cur := snapshot(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 190, "BenchmarkNew": 5, "BenchmarkAlso": 7})
 	if err := Gate(&buf, base, cur, 25, 0); err != nil {
 		t.Errorf("within-threshold gate failed: %v", err)
 	}
-	if !strings.Contains(buf.String(), "BenchmarkNew: new benchmark") {
-		t.Errorf("new benchmark not reported:\n%s", buf.String())
+	out := buf.String()
+	also := strings.Index(out, "BenchmarkAlso: new benchmark")
+	fresh := strings.Index(out, "BenchmarkNew: new benchmark")
+	if also < 0 || fresh < 0 || also > fresh {
+		t.Errorf("new benchmarks not reported in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, "2 new benchmark(s) are not gated") {
+		t.Errorf("new-benchmark count missing:\n%s", out)
 	}
 
 	// Beyond threshold: fail, naming the offender.

@@ -23,6 +23,13 @@
 //
 //	ntc-sweep -topology single,uniform@triad,greedy-proportional@triad -days 2
 //
+// The rebalance axis (-rebalance "off" or "epoch:N[@dispatcher]")
+// re-runs cross-DC dispatch every N slots over the observed load and
+// prices every VM moved between datacenters (migration energy,
+// downtime violation-samples, latency-weighted QoS):
+//
+//	ntc-sweep -topology uniform@triad -rebalance off,epoch:4@greedy-proportional -days 2
+//
 // Sweeps also run distributed (see docs/DISTRIBUTED.md): -serve makes
 // this process the coordinator for a grid, -worker joins a running
 // coordinator from any machine sharing the input files, and
@@ -85,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		churn       = fs.String("churn", "0", "comma-separated churn fractions in [0,1]")
 		traces      = fs.String("trace", "synthetic", "comma-separated trace backends ("+strings.Join(trace.Backends(), ", ")+"), e.g. synthetic,csv:week.csv")
 		topologies  = fs.String("topology", "single", "comma-separated fleet topologies ([dispatcher@]builtin or [dispatcher@]fleet.json; dispatchers: "+strings.Join(topology.DispatcherNames(), ", ")+"), e.g. single,greedy-proportional@triad")
+		rebalances  = fs.String("rebalance", "off", `comma-separated cross-DC rebalance specs ("off" or "epoch:N[@dispatcher]"), e.g. off,epoch:4@greedy-proportional`)
 		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cacheMode   = fs.String("cache", "off", "incremental result cache: off, rw (read+write), ro (read-only)")
 		cacheDir    = fs.String("cache-dir", "", "result-cache directory (required unless -cache off)")
@@ -171,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"policies": true, "vms": true, "max-servers": true, "days": true,
 			"history": true, "seeds": true, "static": true, "predictors": true,
 			"transitions": true, "churn": true, "trace": true, "topology": true,
+			"rebalance": true,
 		}
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
@@ -191,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		var err error
 		if g, err = gridFromFlags(*policies, *vms, *maxServers, *seeds, *static,
-			*predictors, *transitions, *churn, *traces, *topologies, *days, *history); err != nil {
+			*predictors, *transitions, *churn, *traces, *topologies, *rebalances, *days, *history); err != nil {
 			return err
 		}
 	}
@@ -316,12 +325,13 @@ func printDistStats(w io.Writer, s dist.Stats) {
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.
-func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces, topologies string, days, history int) (sweep.Grid, error) {
+func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces, topologies, rebalances string, days, history int) (sweep.Grid, error) {
 	g := sweep.Grid{
 		Policies:    splitList(policies),
 		Predictors:  splitList(predictors),
 		Traces:      splitList(traces),
 		Topologies:  splitList(topologies),
+		Rebalances:  splitList(rebalances),
 		EvalDays:    days,
 		HistoryDays: history,
 	}

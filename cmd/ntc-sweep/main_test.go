@@ -111,10 +111,12 @@ func TestCSVTraceAxisGolden(t *testing.T) {
 	// compare around it). The metric columns are unchanged since the
 	// topology axis landed — the default "single" topology reproduces
 	// the plain simulation bit-for-bit; only the provenance columns
-	// (topology, dc_count, ep_score, per_dc) were appended.
+	// (topology, dc_count, ep_score, per_dc with the axis, then
+	// rebalance, cross_dc_migrations, latency_weighted_viol under
+	// schema v3) were appended.
 	golden := []struct{ prefix, suffix string }{
-		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,single,1,0.482606,,"},
-		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,single,1,0.231086,,"},
+		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,single,1,0.482606,,off,0,0.000000,"},
+		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,single,1,0.231086,,off,0,0.000000,"},
 	}
 	for i, want := range golden {
 		row := lines[i+1]
@@ -173,13 +175,13 @@ func TestFleetSweepGoldenDeterministicAndCached(t *testing.T) {
 	}
 
 	golden := []string{
-		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,error",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,22.115386,0.000000,0,3.708333,5,0,1.887500,greedy-proportional@triad,3,0.295219,core=22.115;metro=0.000;edge=0.000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,38.874682,0.000000,0,2.541667,3,0,3.100000,greedy-proportional@triad,3,0.275486,core=38.875;metro=0.000;edge=0.000,",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,79.073546,0.000000,0,6.166667,7,0,1.820660,follow-the-load@triad,3,0.321275,core=4.377;metro=7.586;edge=67.110,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,93.818028,0.000000,0,5.666667,6,0,2.706250,follow-the-load@triad,3,0.203881,core=10.566;metro=15.361;edge=67.891,",
+		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,error",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,22.115386,0.000000,0,3.708333,5,0,1.887500,greedy-proportional@triad,3,0.295219,core=22.115;metro=0.000;edge=0.000,off,0,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,38.874682,0.000000,0,2.541667,3,0,3.100000,greedy-proportional@triad,3,0.275486,core=38.875;metro=0.000;edge=0.000,off,0,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,79.073546,0.000000,0,6.166667,7,0,1.820660,follow-the-load@triad,3,0.321275,core=4.377;metro=7.586;edge=67.110,off,0,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,93.818028,0.000000,0,5.666667,6,0,2.706250,follow-the-load@triad,3,0.203881,core=10.566;metro=15.361;edge=67.891,off,0,0.000000,",
 	}
 	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
 	if len(lines) != len(golden) {
@@ -189,6 +191,85 @@ func TestFleetSweepGoldenDeterministicAndCached(t *testing.T) {
 		if lines[i] != want {
 			t.Errorf("line %d drifted:\ngot  %s\nwant %s", i, lines[i], want)
 		}
+	}
+}
+
+// TestRebalanceSweepGoldenDeterministicAndCached is the cross-DC
+// rebalancing acceptance check: the rebalance axis runs via
+// -rebalance, is byte-deterministic across worker counts, answers a
+// warm re-run entirely from the cache, reuses the same store through
+// `-dist local:4` without leasing a unit, and matches the golden rows
+// below. The rows pin the tentpole headline: a triad dispatched
+// uniform but epoch-rebalanced onto the energy-proportional core
+// (greedy-proportional every 4 slots) roughly halves fleet energy vs
+// the static dispatch it started from, paying 23 cross-DC migrations
+// whose downtime surfaces as violation-samples — latency-weighted 4×
+// at the 40 ms core site.
+func TestRebalanceSweepGoldenDeterministicAndCached(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := []string{
+		"-policies", "EPACT,COAT",
+		"-vms", "48",
+		"-max-servers", "48",
+		"-days", "1",
+		"-predictors", "oracle",
+		"-topology", "uniform@triad",
+		"-rebalance", "off,epoch:4@greedy-proportional",
+		"-cache", "rw",
+		"-cache-dir", cacheDir,
+	}
+
+	var outputs []string
+	var lastErr string
+	for _, workers := range []string{"1", "4", "8"} {
+		var stdout, stderr bytes.Buffer
+		if err := run(append(args, "-workers", workers), &stdout, &stderr); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+		lastErr = stderr.String()
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("worker counts disagree on a rebalance sweep:\n%s\nvs\n%s\nvs\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+	if !strings.Contains(lastErr, "cache: 4 hits, 0 misses, 0 rows written") {
+		t.Errorf("warm rebalance re-run executed scenarios:\n%s", lastErr)
+	}
+	if !strings.Contains(lastErr, "0 traces built for 0 requests") {
+		t.Errorf("warm rebalance re-run ingested inputs:\n%s", lastErr)
+	}
+
+	golden := []string{
+		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,error",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,24.811255,0.000000,23,3.833333,5,0,1.852431,uniform@triad,3,0.486770,core=20.635;metro=1.172;edge=3.004,epoch:4@greedy-proportional,23,92.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,42.170355,0.000000,23,2.750000,4,0,3.078125,uniform@triad,3,0.441364,core=36.566;metro=2.434;edge=3.169,epoch:4@greedy-proportional,23,92.000000,",
+	}
+	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
+	if len(lines) != len(golden) {
+		t.Fatalf("got %d CSV lines, want %d:\n%s", len(lines), len(golden), outputs[0])
+	}
+	for i, want := range golden {
+		if lines[i] != want {
+			t.Errorf("line %d drifted:\ngot  %s\nwant %s", i, lines[i], want)
+		}
+	}
+
+	// The distributed path reuses the same store: a warm `-dist
+	// local:4` run leases nothing, executes nothing, and emits the
+	// exact bytes.
+	var dout, derr bytes.Buffer
+	distArgs := append([]string{}, args...)
+	if err := run(append(distArgs, "-dist", "local:4"), &dout, &derr); err != nil {
+		t.Fatalf("dist run: %v\n%s", err, derr.String())
+	}
+	if dout.String() != outputs[0] {
+		t.Errorf("-dist local:4 rebalance CSV differs from the engine:\n%s\nvs\n%s", dout.String(), outputs[0])
+	}
+	if !strings.Contains(derr.String(), "dist: 4 units (4 cache hits), 0 leases to 0 workers") {
+		t.Errorf("warm dist rebalance run leased work:\n%s", derr.String())
 	}
 }
 
@@ -451,6 +532,10 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		{"unknown-topology", []string{"-topology", "bogus"}, `unknown fleet "bogus"`},
 		{"unknown-dispatcher", []string{"-topology", "warp@triad"}, `unknown dispatcher "warp"`},
 		{"grid-plus-topology-flag", []string{"-grid", "g.json", "-topology", "triad"}, "mutually exclusive"},
+		{"unknown-rebalance", []string{"-rebalance", "hourly"}, "unknown rebalance spec"},
+		{"zero-epoch-rebalance", []string{"-rebalance", "epoch:0"}, "positive slot count"},
+		{"rebalance-bad-dispatcher", []string{"-rebalance", "epoch:4@warp"}, `unknown dispatcher "warp"`},
+		{"grid-plus-rebalance-flag", []string{"-grid", "g.json", "-rebalance", "off"}, "mutually exclusive"},
 		{"non-numeric-vms", []string{"-vms", "forty"}, "-vms"},
 		{"negative-vms", []string{"-vms", "-3"}, "VMs must be positive"},
 		{"churn-out-of-range", []string{"-churn", "1.5"}, "churn fraction"},

@@ -87,3 +87,19 @@ func TestREADMELinksDesignDocs(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMEDocumentsRebalanceFlag pins the `-rebalance` flag row:
+// the CLI's rebalance axis must stay documented in the README flag
+// table with its spec grammar.
+func TestREADMEDocumentsRebalanceFlag(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "`-rebalance`") {
+		t.Error("README.md flag table does not document -rebalance")
+	}
+	if !strings.Contains(string(data), "epoch:N[@dispatcher]") {
+		t.Error("README.md does not document the rebalance spec grammar epoch:N[@dispatcher]")
+	}
+}

@@ -76,6 +76,20 @@ func ExampleParseTopology() {
 	//   edge: 120 servers, PUE 1.50, 5 ms
 }
 
+// A cross-DC rebalance spec turns static dispatch into an epoch
+// control loop: every N slots the fleet re-dispatches over observed
+// load and pays for every VM it moves.
+func ExampleParseFleetRebalance() {
+	reb, err := ntcdc.ParseFleetRebalance("epoch:4@greedy-proportional")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("every %d slots via %s (canonical %q)\n", reb.EverySlots, reb.Dispatcher, reb.String())
+	// Output:
+	// every 4 slots via greedy-proportional (canonical "epoch:4@greedy-proportional")
+}
+
 // Body bias is the FD-SOI-specific knob: reverse bias slashes leakage
 // for parked servers.
 func ExampleWithBodyBias() {

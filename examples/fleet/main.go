@@ -6,12 +6,14 @@
 //
 // By default it uses the builtin "triad" fleet (an NTC core site, a
 // heavier-static metro site, a conventional low-latency edge site) at
-// a reduced scale. Pass -full for the paper-scale week and -fleet to
-// swap in your own fleet file, e.g.
+// a reduced scale. Pass -full for the paper-scale week, -fleet to
+// swap in your own fleet file, and -rebalance to compare static
+// dispatch against the epoch rebalancer, e.g.
 //
 //	go run ./examples/fleet -fleet myfleet.json
+//	go run ./examples/fleet -rebalance epoch:4@greedy-proportional
 //
-// (see docs/TOPOLOGY.md for the fleet-file format).
+// (see docs/TOPOLOGY.md for the fleet-file and rebalance formats).
 package main
 
 import (
@@ -27,10 +29,17 @@ import (
 func main() {
 	full := flag.Bool("full", false, "paper-scale run (600 VMs, 7 days)")
 	fleet := flag.String("fleet", "triad", `fleet ref: a builtin name or a fleet.json path`)
+	rebalance := flag.String("rebalance", "", `also run each dispatcher with this rebalance spec, e.g. epoch:4@greedy-proportional`)
 	flag.Parse()
 
 	cfg := ntcdc.DefaultFleetWeekConfig()
 	cfg.Fleet = *fleet
+	if *rebalance != "" {
+		if _, err := ntcdc.ParseFleetRebalance(*rebalance); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Rebalances = []string{"off", *rebalance}
+	}
 	if !*full {
 		cfg.DC.VMs = 150
 		cfg.DC.EvalDays = 2
@@ -44,7 +53,7 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "dispatcher\tpolicy\tenergy (MJ)\tEP score\tviolations\tmean active\tper-DC energy (MJ)")
+	fmt.Fprintln(tw, "dispatcher\trebalance\tpolicy\tenergy (MJ)\tEP score\tviolations\twan viol\tmoves\tmean active\tper-DC energy (MJ)")
 	for _, r := range rows {
 		perDC := ""
 		for i, dc := range r.PerDC {
@@ -53,8 +62,9 @@ func main() {
 			}
 			perDC += fmt.Sprintf("%s=%.1f", dc.Name, dc.EnergyMJ)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.3f\t%d\t%.1f\t%s\n",
-			r.Dispatcher, r.Policy, r.EnergyMJ, r.EPScore, r.Violations, r.MeanActive, perDC)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%.3f\t%d\t%.1f\t%d\t%.1f\t%s\n",
+			r.Dispatcher, r.Rebalance, r.Policy, r.EnergyMJ, r.EPScore, r.Violations,
+			r.LatencyWeightedViol, r.CrossDCMigrations, r.MeanActive, perDC)
 	}
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
@@ -67,8 +77,8 @@ func main() {
 			best = r
 		}
 	}
-	fmt.Printf("\ncheapest combination: %s dispatch + %s packing (%.1f MJ)\n",
-		best.Dispatcher, best.Policy, best.EnergyMJ)
+	fmt.Printf("\ncheapest combination: %s dispatch (rebalance %s) + %s packing (%.1f MJ)\n",
+		best.Dispatcher, best.Rebalance, best.Policy, best.EnergyMJ)
 }
 
 func predictorName(arima bool) string {

@@ -42,6 +42,22 @@ type Config struct {
 	// servers.
 	MaxServers int
 
+	// StartSlot and NumSlots window the simulation inside the
+	// evaluation period, in allocation slots: Run simulates slots
+	// [StartSlot, StartSlot+NumSlots). The zero values keep the whole
+	// period (NumSlots 0 = every slot from StartSlot on). The epoch
+	// rebalancer (internal/topology) simulates one epoch at a time;
+	// plain runs leave both zero.
+	StartSlot, NumSlots int
+
+	// InitialActiveServers seeds the transition accounting: how many
+	// servers were already powered on before the first simulated slot.
+	// 0 is the historical cold start, where every first-slot server
+	// pays the power-on cost; the rebalancer passes each epoch's
+	// closing count into the next so epoch boundaries are not
+	// mis-billed as mass boot storms.
+	InitialActiveServers int
+
 	// Transitions prices server power-state changes and VM
 	// migrations between slots. The zero value reproduces the paper
 	// (no transition costs); DefaultTransitions enables the extension
@@ -165,8 +181,12 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Policy: cfg.Policy.Name(), Predictor: cfg.Predictions.Predictor, Trace: label}
 	sampleSec := cfg.Trace.Interval.Seconds()
 
+	first, last := cfg.StartSlot, slots
+	if cfg.NumSlots > 0 {
+		last = first + cfg.NumSlots
+	}
 	var prevAsg *alloc.Assignment
-	for s := 0; s < slots; s++ {
+	for s := first; s < last; s++ {
 		lo := s * trace.SamplesPerSlot // offset within the eval period
 		hi := lo + trace.SamplesPerSlot
 
@@ -197,7 +217,7 @@ func Run(cfg Config) (*Result, error) {
 		// 4) Transition accounting (zero under the paper model).
 		if cfg.Transitions != (TransitionModel{}) {
 			memBytes := residentSets(cfg.Trace, evalStart+lo)
-			te, stats := cfg.Transitions.slotTransitionEnergy(prevAsg, asg, memBytes)
+			te, stats := cfg.Transitions.slotTransitionEnergy(prevAsg, asg, memBytes, cfg.InitialActiveServers)
 			slot.TransitionEnergy = te
 			slot.Migrations = stats.Migrations
 			slot.Energy += te
@@ -365,6 +385,15 @@ func validate(cfg *Config) error {
 	total := (cfg.HistoryDays + cfg.EvalDays) * trace.SamplesPerDay
 	if cfg.Trace.Samples() < total {
 		return fmt.Errorf("dcsim: trace has %d samples, need %d", cfg.Trace.Samples(), total)
+	}
+	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
+	if cfg.StartSlot < 0 || cfg.NumSlots < 0 || cfg.StartSlot+cfg.NumSlots > slots ||
+		(cfg.NumSlots == 0 && cfg.StartSlot > slots) {
+		return fmt.Errorf("dcsim: slot window [%d, %d) outside the %d-slot evaluation period",
+			cfg.StartSlot, cfg.StartSlot+cfg.NumSlots, slots)
+	}
+	if cfg.InitialActiveServers < 0 {
+		return fmt.Errorf("dcsim: InitialActiveServers must be >= 0, got %d", cfg.InitialActiveServers)
 	}
 	return nil
 }

@@ -41,16 +41,25 @@ func DefaultTransitions() TransitionModel {
 }
 
 // slotTransitionEnergy prices the change from the previous slot's
-// assignment to the next one.
-func (m TransitionModel) slotTransitionEnergy(prev, next *alloc.Assignment, memBytes []float64) (units.Energy, alloc.MigrationStats) {
+// assignment to the next one. initialActive seeds the first slot
+// (prev == nil): the run starts with that many servers already on, so
+// only the delta is billed — 0 reproduces the historical cold start,
+// where every first-slot server pays the power-on cost. Migrations
+// are never counted across a nil prev (the VM universe may differ).
+func (m TransitionModel) slotTransitionEnergy(prev, next *alloc.Assignment, memBytes []float64, initialActive int) (units.Energy, alloc.MigrationStats) {
 	var stats alloc.MigrationStats
 	if prev == nil {
-		// Initial placement: all next-slot servers power on.
 		on := 0
 		if next != nil {
 			on = next.ActiveServers()
 		}
-		return units.Energy(float64(m.ServerOnEnergy) * float64(on)), stats
+		var e float64
+		if on > initialActive {
+			e = float64(m.ServerOnEnergy) * float64(on-initialActive)
+		} else if initialActive > on {
+			e = float64(m.ServerOffEnergy) * float64(initialActive-on)
+		}
+		return units.Energy(e), stats
 	}
 	prevActive := prev.ActiveServers()
 	nextActive := next.ActiveServers()

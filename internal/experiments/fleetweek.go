@@ -15,10 +15,15 @@ import (
 // with local consolidation the way subsystem power management
 // interacts with node-level proportionality.
 
-// FleetWeekRow is one (dispatcher, policy) combination's week.
+// FleetWeekRow is one (dispatcher, rebalance, policy) combination's
+// week.
 type FleetWeekRow struct {
 	// Dispatcher is the cross-DC dispatch policy.
 	Dispatcher string
+
+	// Rebalance is the cross-DC rebalancing spec ("off",
+	// "epoch:N[@dispatcher]").
+	Rebalance string
 
 	// Policy is the per-DC allocation policy.
 	Policy string
@@ -33,6 +38,12 @@ type FleetWeekRow struct {
 	Violations int
 	Migrations int
 	MeanActive float64
+
+	// CrossDCMigrations counts VMs the rebalancer moved between
+	// datacenters; LatencyWeightedViol is the WAN-weighted QoS metric
+	// (see topology.WANLatencyRefMs).
+	CrossDCMigrations   int
+	LatencyWeightedViol float64
 
 	// PerDC carries the per-datacenter provenance, fleet spec order.
 	PerDC []sweep.DCResult
@@ -52,6 +63,11 @@ type FleetWeekConfig struct {
 	// all of them (topology.DispatcherNames).
 	Dispatchers []string
 
+	// Rebalances are the cross-DC rebalancing specs to compare per
+	// dispatcher ("off", "epoch:N[@dispatcher]"); empty means the
+	// static dispatch only.
+	Rebalances []string
+
 	// Policies are the per-DC allocation policies; empty means the
 	// consolidate-vs-spread pair EPACT and COAT.
 	Policies []string
@@ -59,14 +75,19 @@ type FleetWeekConfig struct {
 
 // FleetWeek runs the fleet-scale consolidation study as a thin
 // adapter over the sweep engine: one grid whose topology axis is the
-// fleet under each dispatcher. The trace and prediction set are
-// ingested and fitted once and shared across every combination.
+// fleet under each dispatcher, crossed with the requested rebalance
+// specs (static dispatch vs epoch-rebalanced control loop). The trace
+// and prediction set are ingested and fitted once and shared across
+// every combination.
 func FleetWeek(cfg FleetWeekConfig) ([]FleetWeekRow, error) {
 	if cfg.Fleet == "" {
 		cfg.Fleet = "triad"
 	}
 	if len(cfg.Dispatchers) == 0 {
 		cfg.Dispatchers = topology.DispatcherNames()
+	}
+	if len(cfg.Rebalances) == 0 {
+		cfg.Rebalances = []string{"off"}
 	}
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = []string{"EPACT", "COAT"}
@@ -75,28 +96,34 @@ func FleetWeek(cfg FleetWeekConfig) ([]FleetWeekRow, error) {
 	for _, d := range cfg.Dispatchers {
 		g.Topologies = append(g.Topologies, d+"@"+cfg.Fleet)
 	}
+	g.Rebalances = cfg.Rebalances
 	runs, err := runGrid(g)
 	if err != nil {
 		return nil, err
 	}
-	// Expansion nests topologies outside policies: runs arrive as
-	// (dispatcher, policy) in the requested order.
-	if len(runs) != len(cfg.Dispatchers)*len(cfg.Policies) {
+	// Expansion nests topologies outside rebalances outside policies:
+	// runs arrive as (dispatcher, rebalance, policy) in the requested
+	// order.
+	perDisp := len(cfg.Rebalances) * len(cfg.Policies)
+	if len(runs) != len(cfg.Dispatchers)*perDisp {
 		return nil, fmt.Errorf("experiments: fleet week produced %d runs, want %d",
-			len(runs), len(cfg.Dispatchers)*len(cfg.Policies))
+			len(runs), len(cfg.Dispatchers)*perDisp)
 	}
 	rows := make([]FleetWeekRow, 0, len(runs))
 	for i := range runs {
 		r := &runs[i]
 		rows = append(rows, FleetWeekRow{
-			Dispatcher: cfg.Dispatchers[i/len(cfg.Policies)],
-			Policy:     r.Scenario.Policy,
-			EnergyMJ:   r.TotalEnergyMJ,
-			EPScore:    r.EPScore,
-			Violations: r.Violations,
-			Migrations: r.Migrations,
-			MeanActive: r.MeanActive,
-			PerDC:      r.PerDC,
+			Dispatcher:          cfg.Dispatchers[i/perDisp],
+			Rebalance:           r.Scenario.Rebalance,
+			Policy:              r.Scenario.Policy,
+			EnergyMJ:            r.TotalEnergyMJ,
+			EPScore:             r.EPScore,
+			Violations:          r.Violations,
+			Migrations:          r.Migrations,
+			MeanActive:          r.MeanActive,
+			CrossDCMigrations:   r.CrossDCMigrations,
+			LatencyWeightedViol: r.LatencyWeightedViol,
+			PerDC:               r.PerDC,
 		})
 	}
 	return rows, nil

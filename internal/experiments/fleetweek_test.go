@@ -76,6 +76,75 @@ func TestFleetWeekGolden(t *testing.T) {
 	}
 }
 
+// TestFleetWeekRebalanceGolden pins the tentpole's experiment-level
+// headline: the triad dispatched uniform but epoch-rebalanced onto
+// its energy-proportional core site (greedy-proportional every 4
+// slots) roughly halves fleet energy versus the static dispatch it
+// started from, paying for the moves with cross-DC migrations whose
+// downtime shows up raw and latency-weighted. The golden energies
+// match the CLI rebalance golden rows, so the two pins cross-check.
+func TestFleetWeekRebalanceGolden(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.Dispatchers = []string{"uniform"}
+	cfg.Rebalances = []string{"off", "epoch:4@greedy-proportional"}
+	rows, err := FleetWeek(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (1 dispatcher × 2 rebalances × 2 policies)", len(rows))
+	}
+
+	want := []struct {
+		rebalance, policy string
+		energyMJ          float64
+		crossDC           int
+		latencyViol       float64
+	}{
+		{"off", "EPACT", 47.798861, 0, 0},
+		{"off", "COAT", 68.204271, 0, 0},
+		{"epoch:4@greedy-proportional", "EPACT", 24.811255, 23, 92},
+		{"epoch:4@greedy-proportional", "COAT", 42.170355, 23, 92},
+	}
+	byKey := map[string]FleetWeekRow{}
+	for _, r := range rows {
+		if r.Dispatcher != "uniform" {
+			t.Errorf("unexpected dispatcher %q", r.Dispatcher)
+		}
+		byKey[r.Rebalance+"/"+r.Policy] = r
+	}
+	for _, w := range want {
+		r, ok := byKey[w.rebalance+"/"+w.policy]
+		if !ok {
+			t.Errorf("missing row %s/%s", w.rebalance, w.policy)
+			continue
+		}
+		if math.Abs(r.EnergyMJ-w.energyMJ) > 1e-4 {
+			t.Errorf("%s/%s energy = %.6f MJ, want %.6f (golden)", w.rebalance, w.policy, r.EnergyMJ, w.energyMJ)
+		}
+		if r.CrossDCMigrations != w.crossDC {
+			t.Errorf("%s/%s cross-DC migrations = %d, want %d (golden)",
+				w.rebalance, w.policy, r.CrossDCMigrations, w.crossDC)
+		}
+		if math.Abs(r.LatencyWeightedViol-w.latencyViol) > 1e-9 {
+			t.Errorf("%s/%s latency-weighted viol = %v, want %v (golden)",
+				w.rebalance, w.policy, r.LatencyWeightedViol, w.latencyViol)
+		}
+	}
+
+	// The acceptance headline: epoch rebalancing with
+	// greedy-proportional lowers fleet energy vs the static dispatch,
+	// for both per-DC policies.
+	for _, pol := range []string{"EPACT", "COAT"} {
+		static := byKey["off/"+pol].EnergyMJ
+		reb := byKey["epoch:4@greedy-proportional/"+pol].EnergyMJ
+		if reb >= static {
+			t.Errorf("%s: epoch rebalancing (%.1f MJ) should beat static dispatch (%.1f MJ)",
+				pol, reb, static)
+		}
+	}
+}
+
 func TestFleetWeekHonoursExplicitAxes(t *testing.T) {
 	cfg := fleetTestConfig()
 	cfg.Dispatchers = []string{"uniform"}

@@ -22,7 +22,11 @@ import (
 //
 // v2: the topology axis added per-DC provenance (topology, dc_count,
 // ep_score, per_dc columns) to every row.
-const resultSchemaVersion = "sweep-result-v2"
+//
+// v3: the rebalance axis added the rebalance, cross_dc_migrations and
+// latency_weighted_viol columns to every row (and the rebalance spec
+// to the scenario identity).
+const resultSchemaVersion = "sweep-result-v3"
 
 // Options tunes one sweep execution. The zero value runs on
 // GOMAXPROCS workers with no progress reporting and no caching.
@@ -66,6 +70,17 @@ type RunResult struct {
 	MeanPlannedFreqGHz float64 `json:"mean_planned_freq_ghz"`
 	Slots              int     `json:"slots"`
 
+	// CrossDCMigrations counts the VMs the epoch rebalancer moved
+	// between datacenters (0 under "off" and on single-DC rows). It
+	// is disjoint from Migrations, the within-DC server moves.
+	CrossDCMigrations int `json:"cross_dc_migrations"`
+
+	// LatencyWeightedViol is the WAN-latency-weighted QoS metric:
+	// per-DC violations (migration downtime included) × LatencyMs /
+	// topology.WANLatencyRefMs, summed. Equals Violations on a
+	// default-latency single DC.
+	LatencyWeightedViol float64 `json:"latency_weighted_viol"`
+
 	// DCCount is how many datacenters the scenario's fleet composed
 	// (1 for the default "single" topology). On multi-DC rows the
 	// energy fields above are fleet facility energies (IT × PUE).
@@ -108,6 +123,11 @@ type DCResult struct {
 	PeakActive int     `json:"peak_active"`
 	Migrations int     `json:"migrations"`
 	EPScore    float64 `json:"ep_score"`
+
+	// CrossDCMigrations counts VMs the rebalancer moved INTO this DC;
+	// LatencyWeightedViol is its WAN-weighted violation share.
+	CrossDCMigrations   int     `json:"cross_dc_migrations"`
+	LatencyWeightedViol float64 `json:"latency_weighted_viol"`
 }
 
 // Results is a completed sweep.
@@ -321,6 +341,10 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 	if err != nil {
 		return fail(err)
 	}
+	reb, err := ld.rebalance(s.Rebalance)
+	if err != nil {
+		return fail(err)
+	}
 	transitions, err := g.transitionFor(s.Transitions)
 	if err != nil {
 		return fail(err)
@@ -328,7 +352,8 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 
 	// Every scenario runs through the fleet runner; the default
 	// "single" topology is the identity (one DC, PUE 1, the whole
-	// pool), so its rows match the plain simulation bit-for-bit.
+	// pool), so its rows match the plain simulation bit-for-bit —
+	// under any rebalance spec, since one DC has nothing to rebalance.
 	fres, err := topology.Run(topology.Config{
 		Fleet:        fleet,
 		Trace:        tp.tr,
@@ -340,8 +365,10 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		NewPolicy: func(m *power.ServerModel) (alloc.Policy, error) {
 			return newPolicy(s.Policy, m)
 		},
-		Transitions: transitions,
-		TraceLabel:  s.TraceSpec,
+		Transitions:              transitions,
+		TraceLabel:               s.TraceSpec,
+		Rebalance:                reb,
+		MigrationDowntimeSamples: topology.DefaultMigrationDowntimeSamples,
 	})
 	if err != nil {
 		return fail(err)
@@ -357,6 +384,8 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 	out.Migrations = fres.Migrations
 	out.Slots = fres.Slots
 	out.MeanPlannedFreqGHz = fres.MeanPlannedFreqGHz
+	out.CrossDCMigrations = fres.CrossDCMigrations
+	out.LatencyWeightedViol = fres.LatencyWeightedViol
 	out.DCCount = len(fres.DCs)
 	out.EPScore = fres.EPScore
 	out.Fleet = fres
@@ -367,15 +396,17 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		out.PerDC = make([]DCResult, len(fres.DCs))
 		for i, dc := range fres.DCs {
 			out.PerDC[i] = DCResult{
-				Name:       dc.Spec.Name,
-				VMs:        dc.VMs,
-				Servers:    dc.Spec.Servers,
-				EnergyMJ:   dc.EnergyMJ,
-				Violations: dc.Violations,
-				MeanActive: dc.MeanActive,
-				PeakActive: dc.PeakActive,
-				Migrations: dc.Migrations,
-				EPScore:    dc.EPScore,
+				Name:                dc.Spec.Name,
+				VMs:                 dc.VMs,
+				Servers:             dc.Spec.Servers,
+				EnergyMJ:            dc.EnergyMJ,
+				Violations:          dc.Violations,
+				MeanActive:          dc.MeanActive,
+				PeakActive:          dc.PeakActive,
+				Migrations:          dc.Migrations,
+				EPScore:             dc.EPScore,
+				CrossDCMigrations:   dc.CrossDCMigrations,
+				LatencyWeightedViol: dc.LatencyWeightedViol,
 			}
 		}
 	}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep/cache"
+)
+
+// rebalanceGrid sweeps 2 policies × (off + epoch rebalancing) on the
+// uniform triad — the acceptance shape of the rebalance axis.
+func rebalanceGrid() Grid {
+	return Grid{
+		Policies:   []string{"EPACT", "COAT"},
+		VMs:        []int{48},
+		MaxServers: []int{48},
+		EvalDays:   1,
+		Seeds:      []int64{2018},
+		Predictors: []string{"oracle"},
+		Topologies: []string{"uniform@triad"},
+		Rebalances: []string{"off", "epoch:4@greedy-proportional"},
+	}
+}
+
+// TestRebalanceAxisDeterminism extends the worker-count contract to
+// the rebalance axis: epoch re-dispatch, migration pricing and the
+// stitched per-slot series must be byte-identical for any worker
+// count.
+func TestRebalanceAxisDeterminism(t *testing.T) {
+	var baseCSV string
+	var baseJSON []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Run(rebalanceGrid(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Runs) != 4 {
+			t.Fatalf("workers=%d: %d runs, want 4 (2 rebalances × 2 policies)", workers, len(res.Runs))
+		}
+		csv := res.CSV()
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			baseCSV, baseJSON = csv, js
+			continue
+		}
+		if csv != baseCSV {
+			t.Errorf("workers=%d: CSV differs from workers=1:\n%s\nvs\n%s", workers, csv, baseCSV)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("workers=%d: JSON differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRebalanceOffMatchesAxisFreeGrid pins the compatibility half of
+// the acceptance criterion: "off" rows are identical to a grid that
+// never mentions the rebalance axis (the default is the identity).
+func TestRebalanceOffMatchesAxisFreeGrid(t *testing.T) {
+	g := rebalanceGrid()
+	res, err := Run(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := g
+	plain.Rebalances = nil
+	pres, err := Run(plain, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion nests rebalance inside topology: the first two rows of
+	// the two-spec grid are the "off" rows.
+	for i := 0; i < 2; i++ {
+		a, b := res.Runs[i], pres.Runs[i]
+		if a.Scenario.Rebalance != "off" || b.Scenario.Rebalance != "off" {
+			t.Fatalf("expansion order changed: %q vs %q", a.Scenario.Rebalance, b.Scenario.Rebalance)
+		}
+		if a.TotalEnergyMJ != b.TotalEnergyMJ || a.Violations != b.Violations ||
+			a.CrossDCMigrations != b.CrossDCMigrations ||
+			a.LatencyWeightedViol != b.LatencyWeightedViol {
+			t.Errorf("row %d: explicit off differs from default grid: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// The headline the golden CLI rows pin, asserted at the engine
+	// level: epoch rebalancing toward greedy-proportional beats the
+	// static dispatch it started from, pays cross-DC migrations with
+	// downtime, and reports a latency-weighted violation metric.
+	for p := 0; p < 2; p++ {
+		off, reb := res.Runs[p], res.Runs[2+p]
+		if off.Scenario.Policy != reb.Scenario.Policy {
+			t.Fatalf("row pairing broke: %q vs %q", off.Scenario.Policy, reb.Scenario.Policy)
+		}
+		if reb.TotalEnergyMJ >= off.TotalEnergyMJ {
+			t.Errorf("%s: rebalanced %.3f MJ did not beat static %.3f MJ",
+				off.Scenario.Policy, reb.TotalEnergyMJ, off.TotalEnergyMJ)
+		}
+		if reb.CrossDCMigrations == 0 {
+			t.Errorf("%s: rebalanced row moved no VMs", off.Scenario.Policy)
+		}
+		if reb.Violations < reb.CrossDCMigrations {
+			t.Errorf("%s: %d violations < %d downtime samples",
+				off.Scenario.Policy, reb.Violations, reb.CrossDCMigrations)
+		}
+		if reb.LatencyWeightedViol <= 0 {
+			t.Errorf("%s: rebalanced row has no latency-weighted violations", off.Scenario.Policy)
+		}
+		if off.CrossDCMigrations != 0 || off.LatencyWeightedViol != 0 {
+			t.Errorf("%s: static row reports rebalancer activity: %+v", off.Scenario.Policy, off)
+		}
+	}
+
+	// One trace, one prediction set across the whole axis — rebalance
+	// adds no loader traffic.
+	if res.Load.TraceBuilds != 1 || res.Load.PredictBuilds != 1 {
+		t.Errorf("load stats = %+v, want 1 trace and 1 prediction build", res.Load)
+	}
+}
+
+// TestRebalanceAxisCacheRerun is the cache half of the acceptance
+// criterion: rebalanced rows are cached like any other (the spec is
+// part of the scenario identity under schema v3), so a warm re-run
+// executes nothing and replays identical bytes.
+func TestRebalanceAxisCacheRerun(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *cache.Store {
+		store, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	cold, err := Run(rebalanceGrid(), Options{Workers: 4, Cache: open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Cache; s.Hits != 0 || s.Misses != 4 || s.Writes != 4 {
+		t.Fatalf("cold stats = %+v, want 0/4/4", s)
+	}
+
+	warm, err := Run(rebalanceGrid(), Options{Workers: 4, Cache: open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Cache; s.Hits != 4 || s.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want all hits", s)
+	}
+	if cold.CSV() != warm.CSV() {
+		t.Errorf("cached rebalance CSV differs:\n%s\nvs\n%s", warm.CSV(), cold.CSV())
+	}
+
+	// The axis participates in the scenario identity: the off and
+	// epoch rows of one policy landed under distinct cache keys.
+	rn := &Runner{grid: rebalanceGrid().WithDefaults(), ld: &loader{}}
+	scens, err := Expand(rebalanceGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, s := range scens {
+		k, ok := rn.CacheKey(s)
+		if !ok {
+			t.Fatalf("scenario %s uncacheable", s.ID())
+		}
+		if keys[k] {
+			t.Fatalf("duplicate cache key for %s", s.ID())
+		}
+		keys[k] = true
+		if !strings.Contains(s.ID(), "reb="+s.Rebalance) {
+			t.Errorf("scenario ID %q does not carry its rebalance spec", s.ID())
+		}
+	}
+}
+
+// TestGridValidateRejectsBadRebalances closes the axis's error path:
+// unknown and duplicate specs fail loudly before anything runs.
+func TestGridValidateRejectsBadRebalances(t *testing.T) {
+	g := rebalanceGrid()
+	g.Rebalances = []string{"epoch:0"}
+	if _, err := Run(g, Options{}); err == nil || !strings.Contains(err.Error(), "rebalance") {
+		t.Errorf("epoch:0 error = %v, want a rebalance parse failure", err)
+	}
+	g.Rebalances = []string{"off", "off"}
+	if _, err := Run(g, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate rebalance") {
+		t.Errorf("duplicate spec error = %v", err)
+	}
+	g.Rebalances = []string{"epoch:4@warp"}
+	if _, err := Run(g, Options{}); err == nil || !strings.Contains(err.Error(), "unknown dispatcher") {
+		t.Errorf("unknown dispatcher error = %v", err)
+	}
+}

@@ -16,18 +16,20 @@ func (r *Results) CSV() string {
 	b.WriteString("policy,predictor,transitions,trace,vms,max_servers,eval_days,seed," +
 		"static_power_w,churn_fraction,churn_affected_vms,slots," +
 		"total_energy_mj,transition_mj,violations,mean_active,peak_active," +
-		"migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,error\n")
+		"migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc," +
+		"rebalance,cross_dc_migrations,latency_weighted_viol,error\n")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		s := run.Scenario
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s,%d,%.6f,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s,%d,%.6f,%s,%s,%d,%.6f,%s\n",
 			csvField(s.Policy), csvField(s.Predictor), csvField(s.Transitions),
 			csvField(s.TraceSpec), s.VMs, s.MaxServers, s.EvalDays, s.Seed,
 			s.StaticPowerW, s.ChurnFraction, run.ChurnAffectedVMs, run.Slots,
 			run.TotalEnergyMJ, run.TransitionMJ, run.Violations, run.MeanActive,
 			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz,
 			csvField(s.Topology), run.DCCount, run.EPScore,
-			csvField(perDCField(run.PerDC)), csvField(run.Err))
+			csvField(perDCField(run.PerDC)), csvField(s.Rebalance),
+			run.CrossDCMigrations, run.LatencyWeightedViol, csvField(run.Err))
 	}
 	return b.String()
 }

@@ -1,10 +1,10 @@
 // Package sweep is the scenario-sweep engine of the data-center
 // study: it expands a declarative grid (policy × pool size ×
 // static-power × predictor × transition model × churn × seed × trace
-// source × datacenter topology) into concrete scenarios, shares the
-// expensive inputs (trace ingestion, prediction sets, fleet
-// definitions) across scenarios through a keyed memoizing loader, and
-// executes the runs on a bounded worker pool.
+// source × datacenter topology × cross-DC rebalance) into concrete
+// scenarios, shares the expensive inputs (trace ingestion, prediction
+// sets, fleet definitions) across scenarios through a keyed memoizing
+// loader, and executes the runs on a bounded worker pool.
 //
 // Traces come from pluggable ingestion backends (internal/trace
 // Source): the synthetic generator, CSV files in the native tracegen
@@ -18,7 +18,11 @@
 // scenario — including the default "single" topology — executes
 // through the fleet runner, which dispatches the trace's VMs across
 // the fleet's datacenters and reuses the dcsim simulator unchanged
-// per DC. See docs/TOPOLOGY.md.
+// per DC. The rebalance axis ("off", "epoch:N[@dispatcher]") turns
+// that one-shot dispatch into an epoch control loop: the fleet
+// re-dispatches over observed load every N slots and pays for every
+// cross-DC move (migration energy, downtime violation-samples,
+// latency-weighted QoS). See docs/TOPOLOGY.md.
 //
 // Determinism is a design contract: every scenario derives all of its
 // randomness from its own trace seed (churn uses seed+99, the
@@ -103,6 +107,13 @@ type Grid struct {
 	// the fleet-wide pool: relative fleets split it across their DCs
 	// by share.
 	Topologies []string `json:"topologies,omitempty"`
+
+	// Rebalances are cross-DC rebalancing specs ("off",
+	// "epoch:N[@dispatcher]"); see topology.ParseRebalanceSpec. Empty
+	// means "off" — the static one-shot dispatch. Rebalancing only
+	// affects multi-DC topologies; on "single" every spec is the
+	// identity.
+	Rebalances []string `json:"rebalances,omitempty"`
 }
 
 // Scenario is one fully concrete grid point.
@@ -125,15 +136,19 @@ type Scenario struct {
 	// Topology is the datacenter-fleet spec the scenario ran on
 	// ("single", "greedy-proportional@triad", ...).
 	Topology string `json:"topology"`
+
+	// Rebalance is the cross-DC rebalancing spec ("off",
+	// "epoch:N[@dispatcher]").
+	Rebalance string `json:"rebalance"`
 }
 
 // ID returns the scenario's canonical key, unique within a grid. It
 // names the spec of every input, but not file contents — result
 // caching combines it with the trace source's content fingerprint.
 func (s Scenario) ID() string {
-	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s topo=%s",
+	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s topo=%s reb=%s",
 		s.Policy, s.VMs, s.MaxServers, s.HistoryDays, s.EvalDays,
-		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec, s.Topology)
+		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec, s.Topology, s.Rebalance)
 }
 
 // TransitionSpec names a transition-cost model. A nil Model resolves
@@ -304,6 +319,9 @@ func (g Grid) WithDefaults() Grid {
 	if len(g.Topologies) == 0 {
 		g.Topologies = []string{"single"}
 	}
+	if len(g.Rebalances) == 0 {
+		g.Rebalances = []string{"off"}
+	}
 	return g
 }
 
@@ -373,17 +391,28 @@ func (g Grid) Validate() error {
 		}
 		seenTopo[spec] = true
 	}
+	seenReb := map[string]bool{}
+	for _, spec := range g.Rebalances {
+		if _, err := topology.ParseRebalanceSpec(spec); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if seenReb[spec] {
+			return fmt.Errorf("sweep: duplicate rebalance spec %q", spec)
+		}
+		seenReb[spec] = true
+	}
 	return nil
 }
 
 // Expand applies defaults, validates, and returns the scenario list.
-// The nesting order (trace, topology, seed, VMs, pool, static power,
-// predictor, transitions, churn, policy) keeps policies adjacent —
-// the order the figure adapters group rows in — and is part of the
-// output contract. The trace axis is outermost because its inputs
-// (file ingestion) are the most expensive to share; topology comes
-// next so all of a fleet's scenarios reuse one trace and one
-// prediction set.
+// The nesting order (trace, topology, rebalance, seed, VMs, pool,
+// static power, predictor, transitions, churn, policy) keeps policies
+// adjacent — the order the figure adapters group rows in — and is
+// part of the output contract. The trace axis is outermost because
+// its inputs (file ingestion) are the most expensive to share;
+// topology comes next so all of a fleet's scenarios reuse one trace
+// and one prediction set, and rebalance right after it so a fleet's
+// static and rebalanced rows sit side by side.
 func Expand(g Grid) ([]Scenario, error) {
 	g = g.WithDefaults()
 	if err := g.Validate(); err != nil {
@@ -392,28 +421,31 @@ func Expand(g Grid) ([]Scenario, error) {
 	var out []Scenario
 	for _, spec := range g.Traces {
 		for _, topo := range g.Topologies {
-			for _, seed := range g.Seeds {
-				for _, vms := range g.VMs {
-					for _, srv := range g.MaxServers {
-						for _, static := range g.StaticPowerW {
-							for _, pred := range g.Predictors {
-								for _, tr := range g.Transitions {
-									for _, churn := range g.ChurnFractions {
-										for _, pol := range g.Policies {
-											out = append(out, Scenario{
-												Policy:        pol,
-												VMs:           vms,
-												MaxServers:    srv,
-												HistoryDays:   g.HistoryDays,
-												EvalDays:      g.EvalDays,
-												Seed:          seed,
-												StaticPowerW:  static,
-												Predictor:     pred,
-												Transitions:   tr.Name,
-												ChurnFraction: churn,
-												TraceSpec:     spec,
-												Topology:      topo,
-											})
+			for _, reb := range g.Rebalances {
+				for _, seed := range g.Seeds {
+					for _, vms := range g.VMs {
+						for _, srv := range g.MaxServers {
+							for _, static := range g.StaticPowerW {
+								for _, pred := range g.Predictors {
+									for _, tr := range g.Transitions {
+										for _, churn := range g.ChurnFractions {
+											for _, pol := range g.Policies {
+												out = append(out, Scenario{
+													Policy:        pol,
+													VMs:           vms,
+													MaxServers:    srv,
+													HistoryDays:   g.HistoryDays,
+													EvalDays:      g.EvalDays,
+													Seed:          seed,
+													StaticPowerW:  static,
+													Predictor:     pred,
+													Transitions:   tr.Name,
+													ChurnFraction: churn,
+													TraceSpec:     spec,
+													Topology:      topo,
+													Rebalance:     reb,
+												})
+											}
 										}
 									}
 								}

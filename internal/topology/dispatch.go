@@ -89,7 +89,7 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 		// The DC's effective static power shifts its idle/peak ratio,
 		// so it belongs in the ranking; Run materialises the scenario
 		// default into the resolved specs before dispatching.
-		m, _, err := ServerPlatform(dc.Server, dc.StaticPowerW)
+		m, _, err := dc.serverPlatform()
 		if err != nil {
 			return nil, err
 		}

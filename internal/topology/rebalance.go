@@ -1,0 +1,339 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dcsim"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// The epoch rebalancer turns cross-DC dispatch from a one-shot static
+// partition into a per-slot control loop: every N slots the fleet
+// re-runs dispatch over the load observed so far and migrates VMs
+// between datacenters. Each move is priced through the scenario's
+// transition model (the memory copy of a WAN live migration) and
+// charged a configurable downtime as QoS violation-samples at the
+// destination, and every violation — downtime included — also feeds a
+// latency-weighted metric so far-away placements pay a WAN penalty.
+// This is the mechanism the energy-aware consolidation literature
+// (Beloglazov et al.) treats as central and the paper's static setup
+// leaves out: load shifts across the day, so a fleet that dispatches
+// once understates what consolidation can save.
+
+// WANLatencyRefMs is the reference WAN distance of the
+// latency-weighted QoS metric: a violation at a DC this far away
+// counts exactly once. It equals the DCSpec default latency, so a
+// default single-DC fleet reports LatencyWeightedViol == Violations.
+const WANLatencyRefMs = 10.0
+
+// DefaultMigrationDowntimeSamples is the downtime a cross-DC live
+// migration charges at the destination, in 5-minute violation-samples
+// — the sweep engine's setting for every rebalanced scenario.
+const DefaultMigrationDowntimeSamples = 1
+
+// latencyWeight scales a DC's violations by its WAN distance.
+func latencyWeight(ms float64) float64 { return ms / WANLatencyRefMs }
+
+// RebalanceSpec says when (and with which dispatcher) a fleet
+// re-dispatches its VMs. The zero value is "off" — the static
+// one-shot dispatch every scenario used before the rebalancer.
+//
+// The spec-string grammar mirrors the other axes:
+//
+//	off                  no rebalancing (the default)
+//	epoch:N              re-dispatch every N slots with the fleet's
+//	                     own dispatcher
+//	epoch:N@dispatcher   re-dispatch every N slots with an override;
+//	                     the initial placement stays the fleet's own
+//	                     static dispatch
+type RebalanceSpec struct {
+	// EverySlots is the epoch length in allocation slots (1 slot =
+	// 1 hour); <= 0 means off.
+	EverySlots int
+
+	// Dispatcher overrides the dispatcher used at rebalancing epochs
+	// only: the initial placement is still the fleet's own static
+	// dispatch, so a rebalanced scenario answers "what does periodic
+	// re-planning buy on top of the placement I already have" —
+	// directly comparable to the static row. Empty re-dispatches with
+	// the fleet's own policy.
+	Dispatcher string
+}
+
+// Enabled reports whether the spec asks for rebalancing at all.
+func (r RebalanceSpec) Enabled() bool { return r.EverySlots > 0 }
+
+// String returns the canonical spec string ParseRebalanceSpec parses
+// back ("off", "epoch:N", "epoch:N@dispatcher").
+func (r RebalanceSpec) String() string {
+	if !r.Enabled() {
+		return "off"
+	}
+	s := fmt.Sprintf("epoch:%d", r.EverySlots)
+	if r.Dispatcher != "" {
+		s += "@" + r.Dispatcher
+	}
+	return s
+}
+
+// ParseRebalanceSpec parses "off" or "epoch:N[@dispatcher]". The
+// empty string is "off" so unset axis values need no special casing.
+func ParseRebalanceSpec(spec string) (RebalanceSpec, error) {
+	if spec == "" || spec == "off" {
+		return RebalanceSpec{}, nil
+	}
+	rest, ok := strings.CutPrefix(spec, "epoch:")
+	if !ok {
+		return RebalanceSpec{}, fmt.Errorf(`topology: unknown rebalance spec %q (want "off" or "epoch:N[@dispatcher]")`, spec)
+	}
+	var disp string
+	if i := strings.Index(rest, "@"); i >= 0 {
+		rest, disp = rest[:i], rest[i+1:]
+		if !knownDispatcher(disp) {
+			return RebalanceSpec{}, fmt.Errorf("topology: unknown dispatcher %q in rebalance spec %q (known: %s)",
+				disp, spec, strings.Join(DispatcherNames(), ", "))
+		}
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return RebalanceSpec{}, fmt.Errorf("topology: rebalance epoch in %q must be a positive slot count", spec)
+	}
+	return RebalanceSpec{EverySlots: n, Dispatcher: disp}, nil
+}
+
+// runRebalanced is Run's epoch-rebalancing path: the fleet is already
+// resolved, static-power-materialised and validated, and has at least
+// two datacenters (a single DC has nothing to rebalance, so `single`
+// stays the bit-exact identity).
+//
+// Per epoch of Rebalance.EverySlots slots it re-runs dispatch over
+// the history plus every evaluation sample already replayed — the
+// load an operator has actually observed — then simulates each DC's
+// window through dcsim unchanged. Epoch boundaries carry state
+// across: each DC's power-on/off accounting resumes from its previous
+// active-server count (dcsim.Config.InitialActiveServers), while
+// allocator instances restart fresh (a re-dispatch is a global
+// re-plan, and per-DC VM index sets change with the assignment).
+//
+// Every VM whose DC changes is a cross-DC migration: its resident set
+// at the boundary sample is priced through
+// Transitions.MigrationEnergyPerByte (charged to the destination DC's
+// first epoch slot, PUE-weighted into facility energy and the
+// transition share) and it serves MigrationDowntimeSamples of
+// downtime, charged as QoS violation-samples at the destination —
+// raw and latency-weighted.
+//
+// A deliberate accounting boundary: *within-DC* server moves are
+// counted and priced inside each epoch (dcsim's slot-to-slot diff),
+// but NOT across the boundary slot itself — the re-dispatch is a
+// global re-plan whose per-DC VM index sets change, so there is no
+// well-defined "previous server" for the first slot of an epoch.
+// Across that boundary only the power-on/off delta
+// (InitialActiveServers) and the cross-DC moves above are billed;
+// with epoch:N, one boundary in every N slots skips its within-DC
+// migration stats. Compare rebalanced transition_mj against static
+// rows with this in mind.
+func runRebalanced(cfg Config, fleet Fleet) (*FleetResult, error) {
+	totalSlots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
+	histSamples := cfg.HistoryDays * trace.SamplesPerDay
+	every := cfg.Rebalance.EverySlots
+	downtime := cfg.MigrationDowntimeSamples
+	if downtime < 0 {
+		downtime = 0
+	}
+
+	// The dispatcher override applies at rebalancing epochs only; the
+	// initial placement stays the fleet's own static dispatch (see
+	// RebalanceSpec.Dispatcher).
+	rebFleet := fleet
+	if cfg.Rebalance.Dispatcher != "" {
+		rebFleet.Dispatcher = cfg.Rebalance.Dispatcher
+	}
+
+	res := &FleetResult{Fleet: fleet, DCs: make([]DCRun, len(fleet.DCs)), Slots: totalSlots}
+	res.SlotEnergyMJ = make([]float64, totalSlots)
+	dcSlotMJ := make([][]float64, len(fleet.DCs))
+	activePerSlot := make([]int, totalSlots)
+	dcActiveSum := make([]int, len(fleet.DCs))
+
+	// Models and platforms are per-DC constants; policies are rebuilt
+	// per epoch (stateful, and their VM universe changes).
+	models := make([]*serverModels, len(fleet.DCs))
+	for i, dc := range fleet.DCs {
+		res.DCs[i].Spec = dc
+		dcSlotMJ[i] = make([]float64, totalSlots)
+		m, p, err := dc.serverPlatform()
+		if err != nil {
+			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		models[i] = &serverModels{model: m, plat: p}
+	}
+
+	var (
+		prevDC       []int // VM index -> DC index of the previous epoch
+		prevActive   = make([]int, len(fleet.DCs))
+		freqWeighted float64
+		vmSlotTotal  float64
+	)
+	for e0 := 0; e0 < totalSlots; e0 += every {
+		n := every
+		if e0+n > totalSlots {
+			n = totalSlots - e0
+		}
+		// Observe history plus the evaluation samples already replayed.
+		observed := histSamples + e0*trace.SamplesPerSlot
+		df := rebFleet
+		if e0 == 0 {
+			df = fleet // initial placement: the fleet's own dispatcher
+		}
+		asg, err := Dispatch(df, cfg.Trace, observed)
+		if err != nil {
+			return nil, err
+		}
+		nextDC := make([]int, len(cfg.Trace.VMs))
+		for d, idxs := range asg {
+			for _, v := range idxs {
+				nextDC[v] = d
+			}
+		}
+
+		// Price the moves this re-dispatch caused.
+		if prevDC != nil {
+			for v := range nextDC {
+				if prevDC[v] == nextDC[v] {
+					continue
+				}
+				dst := nextDC[v]
+				run := &res.DCs[dst]
+				res.CrossDCMigrations++
+				run.CrossDCMigrations++
+
+				// Memory copy of the live migration: the VM's resident
+				// set at the boundary sample, at the configured energy
+				// per byte, lands in the destination's first epoch slot.
+				bytes := cfg.Trace.VMs[v].Mem[observed] / 100 * float64(1<<30)
+				mj := units.Energy(float64(cfg.Transitions.MigrationEnergyPerByte) * bytes).MJ()
+				run.ITEnergyMJ += mj
+				facility := mj * run.Spec.PUE
+				run.EnergyMJ += facility
+				res.TotalEnergyMJ += facility
+				res.TransitionMJ += facility
+				dcSlotMJ[dst][e0] += facility
+				res.SlotEnergyMJ[e0] += facility
+
+				// Downtime: the VM is unavailable while it moves.
+				run.Violations += downtime
+				res.Violations += downtime
+				w := float64(downtime) * latencyWeight(run.Spec.LatencyMs)
+				run.LatencyWeightedViol += w
+				res.LatencyWeightedViol += w
+			}
+		}
+		prevDC = nextDC
+
+		for i, dc := range fleet.DCs {
+			run := &res.DCs[i]
+			run.VMs = len(asg[i]) // the final epoch's count survives
+			if len(asg[i]) == 0 {
+				// A drained DC powers its servers down.
+				if prevActive[i] > 0 {
+					off := units.Energy(float64(cfg.Transitions.ServerOffEnergy) * float64(prevActive[i])).MJ()
+					run.ITEnergyMJ += off
+					facility := off * dc.PUE
+					run.EnergyMJ += facility
+					res.TotalEnergyMJ += facility
+					res.TransitionMJ += facility
+					dcSlotMJ[i][e0] += facility
+					res.SlotEnergyMJ[e0] += facility
+				}
+				prevActive[i] = 0
+				continue
+			}
+			pol, err := cfg.NewPolicy(models[i].model)
+			if err != nil {
+				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+			}
+			sim, err := dcsim.Run(dcsim.Config{
+				Trace:                subTrace(cfg.Trace, asg[i]),
+				Predictions:          subPredictions(cfg.Predictions, asg[i]),
+				HistoryDays:          cfg.HistoryDays,
+				EvalDays:             cfg.EvalDays,
+				StartSlot:            e0,
+				NumSlots:             n,
+				InitialActiveServers: prevActive[i],
+				Policy:               pol,
+				Server:               models[i].model,
+				Platform:             models[i].plat,
+				MaxServers:           dc.Servers,
+				Transitions:          cfg.Transitions,
+				TraceLabel:           cfg.TraceLabel,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+			}
+			run.ITEnergyMJ += sim.TotalEnergy.MJ()
+			facility := sim.TotalEnergy.MJ() * dc.PUE
+			run.EnergyMJ += facility
+			res.TotalEnergyMJ += facility
+			res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
+			run.Violations += sim.TotalViol
+			res.Violations += sim.TotalViol
+			w := float64(sim.TotalViol) * latencyWeight(dc.LatencyMs)
+			run.LatencyWeightedViol += w
+			res.LatencyWeightedViol += w
+			run.Migrations += sim.TotalMigrations
+			res.Migrations += sim.TotalMigrations
+			for _, s := range sim.Slots {
+				mj := s.Energy.MJ() * dc.PUE
+				dcSlotMJ[i][s.Slot] += mj
+				res.SlotEnergyMJ[s.Slot] += mj
+				activePerSlot[s.Slot] += s.ActiveServers
+				dcActiveSum[i] += s.ActiveServers
+				if s.ActiveServers > run.PeakActive {
+					run.PeakActive = s.ActiveServers
+				}
+			}
+			prevActive[i] = sim.Slots[len(sim.Slots)-1].ActiveServers
+			freqWeighted += sim.MeanPlannedFreqGHz() * float64(len(asg[i])*n)
+			vmSlotTotal += float64(len(asg[i]) * n)
+		}
+	}
+
+	// Aggregate the stitched series the same way the static path does.
+	activeSum := 0
+	for _, a := range activePerSlot {
+		activeSum += a
+		if a > res.PeakActive {
+			res.PeakActive = a
+		}
+	}
+	if totalSlots > 0 {
+		res.MeanActive = float64(activeSum) / float64(totalSlots)
+	}
+	for i := range res.DCs {
+		if totalSlots > 0 {
+			res.DCs[i].MeanActive = float64(dcActiveSum[i]) / float64(totalSlots)
+		}
+		// A DC that never burned anything reports EPScore 0, matching
+		// the static path's "no series" convention for empty DCs.
+		if res.DCs[i].ITEnergyMJ > 0 {
+			res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ[i])
+		}
+	}
+	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
+	if vmSlotTotal > 0 {
+		res.MeanPlannedFreqGHz = freqWeighted / vmSlotTotal
+	}
+	return res, nil
+}
+
+// serverModels pairs one DC's power model with its platform.
+type serverModels struct {
+	model *power.ServerModel
+	plat  *platform.Platform
+}

@@ -42,11 +42,27 @@ type Config struct {
 	NewPolicy func(m *power.ServerModel) (alloc.Policy, error)
 
 	// Transitions prices power-state changes and migrations, applied
-	// identically in every DC.
+	// identically in every DC. The rebalancer also prices each
+	// cross-DC move through MigrationEnergyPerByte.
 	Transitions dcsim.TransitionModel
 
 	// TraceLabel is the provenance label passed through to dcsim.
 	TraceLabel string
+
+	// Rebalance re-runs cross-DC dispatch every EverySlots slots over
+	// the observed (history-so-far) load and migrates VMs between
+	// datacenters (see RebalanceSpec). The zero value keeps the
+	// static one-shot dispatch. Single-DC fleets have nothing to
+	// rebalance and always take the static path — `single` stays the
+	// bit-exact identity under any rebalance spec.
+	Rebalance RebalanceSpec
+
+	// MigrationDowntimeSamples charges every cross-DC migration this
+	// many violation-samples of downtime at the destination DC (a WAN
+	// live migration stalls the VM; one sample is 5 minutes). Only
+	// the rebalancer moves VMs across DCs, so the static path never
+	// reads it. Negative values clamp to 0.
+	MigrationDowntimeSamples int
 }
 
 // DCRun is one datacenter's outcome within a fleet run.
@@ -67,6 +83,15 @@ type DCRun struct {
 	MeanActive float64 `json:"mean_active"`
 	PeakActive int     `json:"peak_active"`
 	Migrations int     `json:"migrations"`
+
+	// LatencyWeightedViol is the DC's violation count weighted by its
+	// WAN distance (LatencyMs / WANLatencyRefMs): far-away placements
+	// pay a QoS penalty that the raw count hides.
+	LatencyWeightedViol float64 `json:"latency_weighted_viol"`
+
+	// CrossDCMigrations counts the VMs the rebalancer moved INTO this
+	// DC at epoch boundaries (0 under static dispatch).
+	CrossDCMigrations int `json:"cross_dc_migrations"`
 
 	// EPScore is the realized energy-proportionality of this DC's
 	// facility-energy series (see SeriesEPScore).
@@ -97,6 +122,17 @@ type FleetResult struct {
 	MeanActive float64 `json:"mean_active"`
 	PeakActive int     `json:"peak_active"`
 	Slots      int     `json:"slots"`
+
+	// CrossDCMigrations counts VMs moved between datacenters by the
+	// epoch rebalancer (0 under static dispatch). It is disjoint from
+	// Migrations, which counts within-DC server moves.
+	CrossDCMigrations int `json:"cross_dc_migrations"`
+
+	// LatencyWeightedViol is the WAN-latency-weighted QoS metric: each
+	// DC's violations (migration downtime included) scaled by
+	// LatencyMs / WANLatencyRefMs and summed. On a single default-
+	// latency DC it equals the raw count.
+	LatencyWeightedViol float64 `json:"latency_weighted_viol"`
 
 	// EPScore is the realized energy proportionality of the fleet's
 	// per-slot facility-energy series (see SeriesEPScore).
@@ -131,7 +167,11 @@ func SeriesEPScore(slotMJ []float64) float64 {
 		}
 	}
 	if max <= 0 {
-		return 0
+		// The series never burned anything: energy is identically zero
+		// in the quietest and the busiest slot, which is the MOST
+		// proportional outcome, not the least — an idle fleet that
+		// consumes nothing tracks its load perfectly.
+		return 1
 	}
 	return 1 - min/max
 }
@@ -183,11 +223,16 @@ func Run(cfg Config) (*FleetResult, error) {
 	}
 	// Materialise the scenario's static-power default into the
 	// resolved specs so dispatchers that rank by hardware
-	// proportionality see each DC's effective platform cost.
+	// proportionality see each DC's effective platform cost. A DC
+	// whose spec explicitly wrote the value — including an explicit
+	// zero (StaticPowerSet) — keeps its own.
 	for i := range fleet.DCs {
-		if fleet.DCs[i].StaticPowerW == 0 {
+		if fleet.DCs[i].StaticPowerW == 0 && !fleet.DCs[i].StaticPowerSet {
 			fleet.DCs[i].StaticPowerW = cfg.StaticPowerW
 		}
+	}
+	if cfg.Rebalance.Enabled() && len(fleet.DCs) > 1 {
+		return runRebalanced(cfg, fleet)
 	}
 	// Load-aware dispatch may observe the history window only.
 	asg, err := Dispatch(fleet, cfg.Trace, cfg.HistoryDays*trace.SamplesPerDay)
@@ -206,7 +251,7 @@ func Run(cfg Config) (*FleetResult, error) {
 		}
 		// The resolved spec already carries the effective static power
 		// (per-DC override or the scenario default).
-		model, plat, err := ServerPlatform(dc.Server, dc.StaticPowerW)
+		model, plat, err := dc.serverPlatform()
 		if err != nil {
 			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 		}
@@ -236,11 +281,13 @@ func Run(cfg Config) (*FleetResult, error) {
 		run.MeanActive = sim.MeanActive
 		run.PeakActive = sim.PeakActive
 		run.Migrations = sim.TotalMigrations
+		run.LatencyWeightedViol = float64(run.Violations) * latencyWeight(dc.LatencyMs)
 
 		res.TotalEnergyMJ += run.EnergyMJ
 		res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
 		res.Violations += run.Violations
 		res.Migrations += run.Migrations
+		res.LatencyWeightedViol += run.LatencyWeightedViol
 		if len(sim.Slots) > res.Slots {
 			res.Slots = len(sim.Slots)
 		}

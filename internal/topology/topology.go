@@ -67,9 +67,17 @@ type DCSpec struct {
 	Share float64 `json:"share,omitempty"`
 
 	// LatencyMs is the DC's network distance from the load source;
-	// follow-the-load dispatch discounts a DC's weight by it. 0
-	// defaults to 10 ms.
+	// follow-the-load dispatch discounts a DC's weight by it, and the
+	// latency-weighted QoS metric scales violations by it. 0 defaults
+	// to 10 ms unless LatencyMsSet records a deliberate zero (a
+	// co-located DC whose violations carry no WAN weight).
 	LatencyMs float64 `json:"latency_ms,omitempty"`
+
+	// LatencyMsSet reports whether LatencyMs was explicitly present
+	// in the DC's JSON (or set by a caller building specs in code) —
+	// the same presence tracking StaticPowerSet provides, so an
+	// explicit `"latency_ms": 0` survives normalisation.
+	LatencyMsSet bool `json:"-"`
 
 	// Server selects the DC's server platform: "ntc" (default) or
 	// "conventional" (the Intel E5-2620 class comparison machine).
@@ -77,8 +85,54 @@ type DCSpec struct {
 
 	// StaticPowerW overrides the per-server static platform power
 	// (motherboard/fan/disk) for this DC; 0 inherits the scenario's
-	// override (or the model default).
+	// override (or the model default) unless StaticPowerSet records
+	// that the zero was written deliberately.
 	StaticPowerW float64 `json:"static_power_w,omitempty"`
+
+	// StaticPowerSet reports whether StaticPowerW was explicitly
+	// present in the DC's JSON (or set by a caller building specs in
+	// code). It is what lets a fleet file say `"static_power_w": 0`
+	// and mean it — a deliberately zero-static-power DC — instead of
+	// being clobbered by the scenario default.
+	StaticPowerSet bool `json:"-"`
+}
+
+// dcSpecJSON mirrors DCSpec with a pointer static-power field, so
+// decoding can tell an explicit `"static_power_w": 0` from an absent
+// one (see StaticPowerSet).
+type dcSpecJSON struct {
+	Name         string   `json:"name"`
+	Servers      int      `json:"servers,omitempty"`
+	PUE          float64  `json:"pue,omitempty"`
+	Share        float64  `json:"share,omitempty"`
+	LatencyMs    *float64 `json:"latency_ms,omitempty"`
+	Server       string   `json:"server,omitempty"`
+	StaticPowerW *float64 `json:"static_power_w,omitempty"`
+}
+
+// UnmarshalJSON decodes a DC spec, tracking static-power and latency
+// presence (both have meaningful explicit zeros the defaulting must
+// not clobber) and rejecting unknown fields (ParseFleetJSON's outer
+// decoder cannot see inside a custom unmarshaler, so the strictness
+// is re-applied here).
+func (d *DCSpec) UnmarshalJSON(data []byte) error {
+	var raw dcSpecJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	*d = DCSpec{Name: raw.Name, Servers: raw.Servers, PUE: raw.PUE,
+		Share: raw.Share, Server: raw.Server}
+	if raw.LatencyMs != nil {
+		d.LatencyMs = *raw.LatencyMs
+		d.LatencyMsSet = true
+	}
+	if raw.StaticPowerW != nil {
+		d.StaticPowerW = *raw.StaticPowerW
+		d.StaticPowerSet = true
+	}
+	return nil
 }
 
 // Fleet is a set of datacenters behind one dispatch policy.
@@ -153,6 +207,22 @@ func ServerPlatform(name string, staticW float64) (*power.ServerModel, *platform
 	return m, p, nil
 }
 
+// serverPlatform resolves the DC's server platform with its effective
+// static power: a positive StaticPowerW overrides the model default,
+// and an explicitly-set zero (StaticPowerSet) forces a zero-static
+// platform — the "deliberately zero static power" case a plain 0
+// cannot express through ServerPlatform.
+func (d DCSpec) serverPlatform() (*power.ServerModel, *platform.Platform, error) {
+	m, p, err := ServerPlatform(d.Server, d.StaticPowerW)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.StaticPowerSet && d.StaticPowerW == 0 {
+		m.Motherboard = 0
+	}
+	return m, p, nil
+}
+
 // Validate checks a fleet's structural consistency.
 func (f Fleet) Validate() error {
 	if len(f.DCs) == 0 {
@@ -212,7 +282,7 @@ func (f Fleet) normalized() Fleet {
 		if dcs[i].Share == 0 {
 			dcs[i].Share = 1
 		}
-		if dcs[i].LatencyMs == 0 {
+		if dcs[i].LatencyMs == 0 && !dcs[i].LatencyMsSet {
 			dcs[i].LatencyMs = 10
 		}
 	}

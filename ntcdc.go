@@ -105,8 +105,8 @@ type (
 	WeekConfig = experiments.DCConfig
 
 	// SweepGrid declares a scenario space (policy × pool × predictor
-	// × transitions × churn × seed × trace source × topology) for the
-	// concurrent sweep engine.
+	// × transitions × churn × seed × trace source × topology ×
+	// cross-DC rebalance) for the concurrent sweep engine.
 	SweepGrid = sweep.Grid
 
 	// SweepOptions tunes a sweep execution (worker count, progress).
@@ -125,6 +125,11 @@ type (
 
 	// FleetDC is one datacenter of a fleet topology.
 	FleetDC = topology.DCSpec
+
+	// FleetRebalance says when (and with which dispatcher) a fleet
+	// re-dispatches its VMs across datacenters — the cross-DC
+	// rebalance sweep axis ("off", "epoch:N[@dispatcher]").
+	FleetRebalance = topology.RebalanceSpec
 
 	// FleetResult is a completed fleet run with per-DC outcomes.
 	FleetResult = topology.FleetResult
@@ -232,6 +237,14 @@ func ParseTopology(spec string) (FleetTopology, error) {
 // TopologyDispatchers lists the cross-DC dispatch policies a fleet
 // spec accepts.
 func TopologyDispatchers() []string { return topology.DispatcherNames() }
+
+// ParseFleetRebalance parses a cross-DC rebalance spec ("off" or
+// "epoch:N[@dispatcher]", e.g. "epoch:4@greedy-proportional"): every
+// N allocation slots the fleet re-dispatches over the observed load
+// and pays migration energy plus downtime for each VM it moves.
+func ParseFleetRebalance(spec string) (FleetRebalance, error) {
+	return topology.ParseRebalanceSpec(spec)
+}
 
 // BuiltinTopologies lists the built-in fleet names.
 func BuiltinTopologies() []string { return topology.BuiltinFleets() }

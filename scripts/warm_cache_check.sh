@@ -5,6 +5,11 @@
 # emitting byte-identical CSV. Then prove the distributed path
 # (`-dist local:4`) reuses the same store without leasing a single
 # unit and still matches the bytes.
+#
+# The expected hit/unit counts are derived from the first run's own
+# "running N scenarios" banner, never hard-coded, so the gate stays
+# loud when the default grid grows another axis instead of silently
+# matching stale literals.
 set -eu
 
 tmp=$(mktemp -d)
@@ -23,14 +28,25 @@ run_sweep() {
 }
 
 run_sweep "$tmp/a.csv" "$tmp/a.log"
+
+# The scenario count every later assertion scales from.
+n=$(sed -n 's/^running \([0-9][0-9]*\) scenarios\.\.\..*/\1/p' "$tmp/a.log")
+if [ -z "$n" ] || [ "$n" -le 0 ]; then
+    echo "warm-cache gate FAILED: could not derive the scenario count from the sweep banner:" >&2
+    cat "$tmp/a.log" >&2
+    exit 1
+fi
+# The cold run must have written every row it executed.
+grep -q "cache: 0 hits, $n misses, $n rows written" "$tmp/a.log"
+
 run_sweep "$tmp/b.csv" "$tmp/b.log"
 
 cmp "$tmp/a.csv" "$tmp/b.csv"
-grep -q "cache: 2 hits, 0 misses, 0 rows written" "$tmp/b.log"
+grep -q "cache: $n hits, 0 misses, 0 rows written" "$tmp/b.log"
 grep -q "0 traces built for 0 requests" "$tmp/b.log"
 
 run_sweep "$tmp/c.csv" "$tmp/c.log" -dist local:4
 cmp "$tmp/a.csv" "$tmp/c.csv"
-grep -q "dist: 2 units (2 cache hits), 0 leases to 0 workers" "$tmp/c.log"
+grep -q "dist: $n units ($n cache hits), 0 leases to 0 workers" "$tmp/c.log"
 
-echo "warm-cache gate ok: second run executed 0 scenarios, bytes identical (engine and -dist local:4)"
+echo "warm-cache gate ok: second run executed 0 of $n scenarios, bytes identical (engine and -dist local:4)"
