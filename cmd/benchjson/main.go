@@ -9,13 +9,19 @@
 // Conversion keeps the minimum ns/op across -count repetitions (the
 // least-noise estimate: the fastest observed run is the one with the
 // least interference) and strips the GOMAXPROCS suffix from benchmark
-// names so snapshots compare across machines.
+// names so snapshots compare across machines. Runs taken with
+// -benchmem also record B/op and allocs/op (minimum across
+// repetitions); a snapshot distinguishes "0 B/op" from "not measured".
 //
 // The gate fails (non-zero exit) when any baseline benchmark regresses
 // by more than -max-regression percent, or disappeared from the
 // current run — a deleted benchmark must update the baseline, never
-// silently shrink the gate's coverage. New benchmarks pass and are
-// reported, so the baseline can be refreshed deliberately.
+// silently shrink the gate's coverage. Memory metrics gate the same
+// way wherever the baseline recorded them, with one stricter rule: a
+// baseline of 0 B/op or 0 allocs/op is an allocation-freeness claim,
+// and ANY current allocation fails regardless of percentage. New
+// benchmarks pass and are reported, so the baseline can be refreshed
+// deliberately.
 package main
 
 import (
@@ -42,6 +48,14 @@ type Entry struct {
 	// NsPerOp is the minimum ns/op observed across repetitions.
 	NsPerOp float64 `json:"ns_per_op"`
 
+	// BPerOp and AllocsPerOp are the minimum bytes and heap
+	// allocations per op across repetitions, present only when the run
+	// was taken with -benchmem. Pointers keep a measured zero (a
+	// genuinely allocation-free benchmark, which the gate defends
+	// strictly) distinct from "not measured".
+	BPerOp      *int64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+
 	// Runs is how many repetitions were observed.
 	Runs int `json:"runs"`
 }
@@ -66,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		baseline = fs.String("baseline", "", "gate against this committed snapshot")
 		maxReg   = fs.Float64("max-regression", 25, "fail when a benchmark slows down by more than this percent vs the baseline")
 		minNs    = fs.Float64("min-ns", 0, "gate only benchmarks whose baseline is at least this many ns/op (microbenchmarks are noise-dominated at low -benchtime)")
+		minB     = fs.Float64("min-b", 0, "gate B/op only when the baseline is at least this many bytes (pool hit rates make small footprints jittery); a zero baseline always gates")
+		minAlloc = fs.Float64("min-allocs", 0, "gate allocs/op only when the baseline is at least this many allocations; a zero baseline always gates")
 		note     = fs.String("note", "", "provenance note stored in the snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := json.Unmarshal(data, &base); err != nil {
 			return fmt.Errorf("parsing %s: %w", *baseline, err)
 		}
-		if err := Gate(stdout, base, cur, *maxReg, *minNs); err != nil {
+		if err := Gate(stdout, base, cur, *maxReg, *minNs, *minB, *minAlloc); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "gate ok: no benchmark regressed more than %g%% vs %s\n", *maxReg, *baseline)
@@ -128,10 +144,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 //
 //	BenchmarkFig7-8   	       3	 120531431 ns/op
 //	BenchmarkSweepGrid/serial-workers=1-8         	       3	  52304219 ns/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // Parse reads `go test -bench` output into a snapshot, folding -count
-// repetitions of one benchmark into their minimum ns/op.
+// repetitions of one benchmark into the per-metric minimum (-benchmem
+// memory columns included when present).
 func Parse(r io.Reader) (File, error) {
 	out := File{Benchmarks: map[string]Entry{}}
 	sc := bufio.NewScanner(r)
@@ -149,19 +166,66 @@ func Parse(r io.Reader) (File, error) {
 		if !seen || ns < e.NsPerOp {
 			e.NsPerOp = ns
 		}
+		if m[3] != "" {
+			b, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return File{}, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			a, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return File{}, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			if e.BPerOp == nil || b < *e.BPerOp {
+				e.BPerOp = &b
+			}
+			if e.AllocsPerOp == nil || a < *e.AllocsPerOp {
+				e.AllocsPerOp = &a
+			}
+		}
 		e.Runs++
 		out.Benchmarks[m[1]] = e
 	}
 	return out, sc.Err()
 }
 
+// gateMem compares one memory metric (B/op or allocs/op) of one
+// benchmark. A zero baseline is an allocation-freeness claim: any
+// current value above it fails outright, floor and percentage
+// notwithstanding (a percentage over zero is undefined anyway). A
+// positive baseline under the floor is reported but not gated;
+// otherwise the shared percentage threshold applies.
+func gateMem(w io.Writer, name, unit string, base, cur int64, floor, maxPercent float64) (failure string) {
+	if base == 0 {
+		if cur > 0 {
+			return fmt.Sprintf("%s: %d %s vs an allocation-free baseline", name, cur, unit)
+		}
+		fmt.Fprintf(w, "%s: 0 %s, allocation-free as the baseline claims\n", name, unit)
+		return ""
+	}
+	change := (float64(cur)/float64(base) - 1) * 100
+	if float64(base) < floor {
+		fmt.Fprintf(w, "%s: %d %s vs %d baseline (%+.1f%%, under the %g %s gate floor)\n",
+			name, cur, unit, base, change, floor, unit)
+		return ""
+	}
+	fmt.Fprintf(w, "%s: %d %s vs %d baseline (%+.1f%%)\n", name, cur, unit, base, change)
+	if change > maxPercent {
+		return fmt.Sprintf("%s: %d %s vs %d baseline (%+.1f%% > %g%%)",
+			name, cur, unit, base, change, maxPercent)
+	}
+	return ""
+}
+
 // Gate compares a current snapshot against the baseline and returns
 // an error naming every benchmark that regressed beyond maxPercent or
 // vanished. Benchmarks whose baseline is under minNs are reported but
 // not gated — at CI's low -benchtime, microsecond-scale results are
-// noise-dominated and would make the gate cry wolf. New benchmarks
-// are reported on w but never fail the gate.
-func Gate(w io.Writer, base, cur File, maxPercent, minNs float64) error {
+// noise-dominated and would make the gate cry wolf. Memory metrics
+// gate wherever the baseline recorded them (see gateMem), with minB
+// and minAllocs as their noise floors; a current run without
+// -benchmem data fails rather than silently shrinking that coverage.
+// New benchmarks are reported on w but never fail the gate.
+func Gate(w io.Writer, base, cur File, maxPercent, minNs, minB, minAllocs float64) error {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -169,23 +233,42 @@ func Gate(w io.Writer, base, cur File, maxPercent, minNs float64) error {
 	sort.Strings(names)
 
 	var failures []string
+	fail := func(msg string) {
+		if msg != "" {
+			failures = append(failures, msg)
+		}
+	}
 	for _, name := range names {
 		b := base.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from the current run (update the baseline if it was removed deliberately)", name))
+			fail(fmt.Sprintf("%s: missing from the current run (update the baseline if it was removed deliberately)", name))
 			continue
 		}
 		change := (c.NsPerOp/b.NsPerOp - 1) * 100
 		if b.NsPerOp < minNs {
 			fmt.Fprintf(w, "%s: %.0f ns/op vs %.0f baseline (%+.1f%%, under the %g ns gate floor)\n",
 				name, c.NsPerOp, b.NsPerOp, change, minNs)
-			continue
+		} else {
+			fmt.Fprintf(w, "%s: %.0f ns/op vs %.0f baseline (%+.1f%%)\n", name, c.NsPerOp, b.NsPerOp, change)
+			if change > maxPercent {
+				fail(fmt.Sprintf("%s: %.0f ns/op vs %.0f baseline (%+.1f%% > %g%%)",
+					name, c.NsPerOp, b.NsPerOp, change, maxPercent))
+			}
 		}
-		fmt.Fprintf(w, "%s: %.0f ns/op vs %.0f baseline (%+.1f%%)\n", name, c.NsPerOp, b.NsPerOp, change)
-		if change > maxPercent {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs %.0f baseline (%+.1f%% > %g%%)",
-				name, c.NsPerOp, b.NsPerOp, change, maxPercent))
+		if b.BPerOp != nil {
+			if c.BPerOp == nil {
+				fail(fmt.Sprintf("%s: B/op missing from the current run (re-run with -benchmem)", name))
+			} else {
+				fail(gateMem(w, name, "B/op", *b.BPerOp, *c.BPerOp, minB, maxPercent))
+			}
+		}
+		if b.AllocsPerOp != nil {
+			if c.AllocsPerOp == nil {
+				fail(fmt.Sprintf("%s: allocs/op missing from the current run (re-run with -benchmem)", name))
+			} else {
+				fail(gateMem(w, name, "allocs/op", *b.AllocsPerOp, *c.AllocsPerOp, minAllocs, maxPercent))
+			}
 		}
 	}
 	// New benchmarks are listed deterministically (sorted) as

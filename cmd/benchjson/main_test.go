@@ -61,7 +61,7 @@ func TestGate(t *testing.T) {
 	// stale baseline is loud, never silently narrower.
 	var buf bytes.Buffer
 	cur := snapshot(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 190, "BenchmarkNew": 5, "BenchmarkAlso": 7})
-	if err := Gate(&buf, base, cur, 25, 0); err != nil {
+	if err := Gate(&buf, base, cur, 25, 0, 0, 0); err != nil {
 		t.Errorf("within-threshold gate failed: %v", err)
 	}
 	out := buf.String()
@@ -76,7 +76,7 @@ func TestGate(t *testing.T) {
 
 	// Beyond threshold: fail, naming the offender.
 	cur = snapshot(map[string]float64{"BenchmarkA": 126, "BenchmarkB": 190})
-	err := Gate(&bytes.Buffer{}, base, cur, 25, 0)
+	err := Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
 		t.Errorf("regression gate error = %v, want BenchmarkA named", err)
 	}
@@ -84,7 +84,7 @@ func TestGate(t *testing.T) {
 	// The same regression under the noise floor is reported, not gated
 	// (microbenchmarks are noise-dominated at low -benchtime)...
 	buf.Reset()
-	if err := Gate(&buf, base, cur, 25, 150); err != nil {
+	if err := Gate(&buf, base, cur, 25, 150, 0, 0); err != nil {
 		t.Errorf("under-floor regression failed the gate: %v", err)
 	}
 	if !strings.Contains(buf.String(), "under the 150 ns gate floor") {
@@ -92,15 +92,118 @@ func TestGate(t *testing.T) {
 	}
 	// ...but a benchmark above the floor still gates.
 	cur = snapshot(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 300})
-	if err := Gate(&bytes.Buffer{}, base, cur, 25, 150); err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+	if err := Gate(&bytes.Buffer{}, base, cur, 25, 150, 0, 0); err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
 		t.Errorf("above-floor regression error = %v, want BenchmarkB named", err)
 	}
 
 	// A benchmark vanishing from the current run fails the gate.
 	cur = snapshot(map[string]float64{"BenchmarkA": 100})
-	err = Gate(&bytes.Buffer{}, base, cur, 25, 0)
+	err = Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
 		t.Errorf("missing-benchmark gate error = %v, want BenchmarkB named", err)
+	}
+}
+
+func withMem(ns float64, b, a int64) Entry {
+	return Entry{NsPerOp: ns, BPerOp: &b, AllocsPerOp: &a, Runs: 3}
+}
+
+func TestParseMemColumns(t *testing.T) {
+	const out = `BenchmarkMem-8   	     100	   8093112 ns/op	  244196 B/op	    2329 allocs/op
+BenchmarkMem-8   	     100	   8378464 ns/op	  243863 B/op	    2328 allocs/op
+BenchmarkPlain-8 	     100	      1234 ns/op
+`
+	f, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Benchmarks["BenchmarkMem"]
+	if m.BPerOp == nil || *m.BPerOp != 243863 || m.AllocsPerOp == nil || *m.AllocsPerOp != 2328 {
+		t.Errorf("memory columns not folded to their minima: %+v", m)
+	}
+	p := f.Benchmarks["BenchmarkPlain"]
+	if p.BPerOp != nil || p.AllocsPerOp != nil {
+		t.Errorf("benchmark without -benchmem got memory stats: %+v", p)
+	}
+	// Round trip: a measured zero stays distinct from absent.
+	zero := withMem(10, 0, 0)
+	data, err := json.Marshal(File{Benchmarks: map[string]Entry{"BenchmarkZ": zero}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	z := back.Benchmarks["BenchmarkZ"]
+	if z.BPerOp == nil || *z.BPerOp != 0 || z.AllocsPerOp == nil || *z.AllocsPerOp != 0 {
+		t.Errorf("measured zero did not survive the JSON round trip: %+v", z)
+	}
+}
+
+func TestGateMemoryMetrics(t *testing.T) {
+	mem := func(entries map[string]Entry) File { return File{Benchmarks: entries} }
+
+	// Within threshold: passes.
+	base := mem(map[string]Entry{"BenchmarkA": withMem(100, 1000, 50)})
+	cur := mem(map[string]Entry{"BenchmarkA": withMem(100, 1100, 55)})
+	if err := Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0); err != nil {
+		t.Errorf("within-threshold memory gate failed: %v", err)
+	}
+
+	// B/op beyond threshold: fails naming the metric.
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 2000, 50)})
+	err := Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Errorf("B/op regression error = %v, want B/op named", err)
+	}
+
+	// allocs/op beyond threshold: fails.
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 1000, 80)})
+	err = Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("allocs/op regression error = %v, want allocs/op named", err)
+	}
+
+	// A zero baseline is an allocation-freeness claim: one allocation
+	// fails even though the percentage is undefined and a floor is set.
+	base = mem(map[string]Entry{"BenchmarkA": withMem(100, 0, 0)})
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 16, 1)})
+	err = Gate(&bytes.Buffer{}, base, cur, 25, 0, 1024, 20)
+	if err == nil || !strings.Contains(err.Error(), "allocation-free baseline") {
+		t.Errorf("zero-baseline gate error = %v, want allocation-free violation", err)
+	}
+	// And a still-zero current passes it.
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 0, 0)})
+	if err := Gate(&bytes.Buffer{}, base, cur, 25, 0, 1024, 20); err != nil {
+		t.Errorf("zero-vs-zero gate failed: %v", err)
+	}
+
+	// Floors mute small positive footprints but not the ns gate.
+	base = mem(map[string]Entry{"BenchmarkA": withMem(100, 512, 10)})
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 1024, 19)})
+	var buf bytes.Buffer
+	if err := Gate(&buf, base, cur, 25, 0, 1024, 20); err != nil {
+		t.Errorf("under-floor memory regression failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "gate floor") {
+		t.Errorf("floor skip not reported:\n%s", buf.String())
+	}
+
+	// A baseline with memory stats gates their presence: a current run
+	// without -benchmem must fail, not shrink coverage silently.
+	cur = mem(map[string]Entry{"BenchmarkA": {NsPerOp: 100, Runs: 3}})
+	err = Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Errorf("missing-memstats gate error = %v, want -benchmem hint", err)
+	}
+
+	// The reverse (current has stats, baseline does not) stays a pass:
+	// refreshing the baseline is how the new coverage lands.
+	base = mem(map[string]Entry{"BenchmarkA": {NsPerOp: 100, Runs: 3}})
+	cur = mem(map[string]Entry{"BenchmarkA": withMem(100, 99999, 9999)})
+	if err := Gate(&bytes.Buffer{}, base, cur, 25, 0, 0, 0); err != nil {
+		t.Errorf("baseline without memory stats gated them: %v", err)
 	}
 }
 

@@ -103,3 +103,37 @@ func TestREADMEDocumentsRebalanceFlag(t *testing.T) {
 		t.Error("README.md does not document the rebalance spec grammar epoch:N[@dispatcher]")
 	}
 }
+
+// TestDocsPinHotLoopDesign pins the hot-loop documentation: the
+// simulator's zero-alloc slot loop is a load-bearing perf contract
+// (TestSlotLoopAllocationFree + the strict zero-alloc bench gate),
+// and both ARCHITECTURE.md's design section and the README's perf
+// claim must survive future edits.
+func TestDocsPinHotLoopDesign(t *testing.T) {
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## The hot loop",
+		"TestSlotLoopAllocationFree",
+		"grid[LevelIndex(f)] == ClampFrequency(f)",
+		"planArena",
+	} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("docs/ARCHITECTURE.md lost the hot-loop design marker %q", want)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"TestSlotLoopAllocationFree",
+		"allocs/op",
+	} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md lost the hot-loop perf marker %q", want)
+		}
+	}
+}

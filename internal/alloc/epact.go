@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
-	"repro/internal/mathx"
 	"repro/internal/power"
 	"repro/internal/units"
 )
@@ -28,33 +28,79 @@ import (
 // The power model is injected so the method adapts to the server's
 // actual energy proportionality — the mechanism behind Fig. 7's
 // static-power study.
+//
+// # Implementation note: cached statistics
+//
+// Both algorithms repeatedly evaluate Pearson correlations and
+// capacity fits between one evolving server pattern and every
+// still-unallocated VM — the dominant cost of a simulated week. The
+// implementations below cache the per-VM halves of those formulas
+// (mean-centered patterns, Σdy², peaks) once per Allocate call and the
+// per-server halves once per placement round, instead of recomputing
+// both halves per (server, VM) pair. Every cached value is produced by
+// the exact fold the mathx helpers use (same operations in the same
+// order), and capacity pre-screens only bypass ServerPlan.fits when
+// peak/min bounds make the outcome certain under IEEE rounding
+// monotonicity — so selections, and therefore assignments, are
+// bit-identical to the straightforward implementation (see
+// TestAllocate1DMatchesReference / TestAllocateCase2MatchesReference).
 type EPACT struct {
 	// Model is the server power model used by the Eq. 1 / case-1
 	// frequency search.
 	Model *power.ServerModel
+
+	// Model-derived caches, built lazily on first Allocate. They hold
+	// pure functions of the (immutable) model — the most
+	// energy-proportional frequency and the worst-case CPU-bound power
+	// per DVFS level — which the per-slot paths would otherwise
+	// re-derive with full power-model evaluations.
+	initOnce   sync.Once
+	fOpt       units.Frequency
+	grid       []units.Frequency
+	gridPowerW []float64
 }
 
 // Name implements Policy.
 func (e *EPACT) Name() string { return "EPACT" }
 
+func (e *EPACT) init() {
+	e.initOnce.Do(func() {
+		e.fOpt = e.Model.OptimalFrequency()
+		if g := e.Model.DVFSGrid(); g != nil {
+			e.grid = g
+			e.gridPowerW = make([]float64, len(g))
+			for k, f := range g {
+				e.gridPowerW[k] = e.Model.CPUBoundPower(f).W()
+			}
+		}
+	})
+}
+
 // fOptNTC returns the server's most energy-proportional frequency
 // (≈1.9 GHz for the NTC server).
-func (e *EPACT) fOptNTC() units.Frequency { return e.Model.OptimalFrequency() }
+func (e *EPACT) fOptNTC() units.Frequency { return e.fOpt }
 
 // serverCounts evaluates Eq. 1: the number of turned-on servers from
 // the CPU perspective (at F_opt^NTC) and from the memory perspective
 // (consolidating until the memory cap).
 func (e *EPACT) serverCounts(vms []VMDemand, spec ServerSpec) (nCPU, nMem int, peakCPU float64) {
 	n := len(vms[0].CPU)
+	// VM-outer accumulation over flat per-sample sums: each sample's
+	// accumulator sees the same addends in the same VM order as the
+	// original sample-outer loop, so the sums are bit-identical.
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+	for i := range vms {
+		vc, vm := vms[i].CPU, vms[i].Mem
+		for s := 0; s < n; s++ {
+			cpu[s] += vc[s]
+			mem[s] += vm[s]
+		}
+	}
 	peakMem := 0.0
 	for s := 0; s < n; s++ {
-		var cpu, mem float64
-		for i := range vms {
-			cpu += vms[i].CPU[s]
-			mem += vms[i].Mem[s]
-		}
-		peakCPU = math.Max(peakCPU, cpu)
-		peakMem = math.Max(peakMem, mem)
+		peakCPU = math.Max(peakCPU, cpu[s])
+		peakMem = math.Max(peakMem, mem[s])
 	}
 	fOpt := e.fOptNTC()
 	// Eq. 1 with the core-count in the denominator (units: core-points
@@ -82,6 +128,7 @@ func (e *EPACT) Allocate(vms []VMDemand, spec ServerSpec) (*Assignment, error) {
 	if err := checkInput(vms, spec); err != nil {
 		return nil, err
 	}
+	e.init()
 	nCPU, nMem, peakCPU := e.serverCounts(vms, spec)
 
 	if nCPU > nMem {
@@ -102,9 +149,20 @@ func (e *EPACT) allocateCase1(vms []VMDemand, spec ServerSpec, nCPU, nMem int, p
 		if needGHz > spec.FMax.GHz()+1e-9 {
 			continue
 		}
-		f := e.slotFrequency(peakCPU, n, spec)
-		// Worst-case data-center power: n servers, CPU bound at f.
-		p := float64(n) * e.Model.CPUBoundPower(f).W()
+		// Worst-case data-center power: n servers, CPU bound at the
+		// slot frequency. With a finite DVFS grid the level index
+		// resolves the same frequency ClampFrequency snaps to (the
+		// grid/LevelIndex contract) and its cached CPU-bound power.
+		var f units.Frequency
+		var p float64
+		if e.grid != nil {
+			k := e.Model.LevelIndex(units.GHz(needGHz), len(e.grid))
+			f = e.grid[k]
+			p = float64(n) * e.gridPowerW[k]
+		} else {
+			f = e.slotFrequency(peakCPU, n, spec)
+			p = float64(n) * e.Model.CPUBoundPower(f).W()
+		}
 		if p < bestP {
 			bestN, bestF, bestP = n, f, p
 		}
@@ -127,6 +185,149 @@ func (e *EPACT) allocateCase1(vms []VMDemand, spec ServerSpec, nCPU, nMem int, p
 	return a, nil
 }
 
+// vmStats caches, for every VM, the statistics the inner loops of
+// Algorithms 1 and 2 derive from its (immutable) patterns: peaks and
+// minima for capacity screening, and the mean-centered patterns with
+// their Σdy² used by the Pearson terms. Each value is computed by the
+// exact fold mathx.Max / mathx.Mean / the Pearson dy-accumulation
+// perform, so substituting them is bit-neutral.
+type vmStats struct {
+	n                                int
+	peakCPU, minCPU, peakMem, minMem []float64
+	syyCPU, syyMem                   []float64
+	ycCPU, ycMem                     [][]float64 // mean-centered patterns
+	sortKey                          []float64   // PeakCPU (+ PeakMem for case 2)
+}
+
+func newVMStats(vms []VMDemand) *vmStats {
+	v := len(vms)
+	n := len(vms[0].CPU)
+	st := &vmStats{
+		n:       n,
+		peakCPU: make([]float64, v),
+		minCPU:  make([]float64, v),
+		peakMem: make([]float64, v),
+		minMem:  make([]float64, v),
+		syyCPU:  make([]float64, v),
+		syyMem:  make([]float64, v),
+		ycCPU:   make([][]float64, v),
+		ycMem:   make([][]float64, v),
+		sortKey: make([]float64, v),
+	}
+	backing := make([]float64, 2*v*n)
+	center := func(series []float64, yc []float64) (peak, min, syy float64) {
+		peak, min = series[0], series[0]
+		sum := 0.0
+		for _, x := range series {
+			if x > peak {
+				peak = x
+			}
+			if x < min {
+				min = x
+			}
+			sum += x
+		}
+		mean := sum / float64(len(series))
+		for j, x := range series {
+			d := x - mean
+			yc[j] = d
+			syy += d * d
+		}
+		return peak, min, syy
+	}
+	for i := range vms {
+		st.ycCPU[i] = backing[:n:n]
+		backing = backing[n:]
+		st.peakCPU[i], st.minCPU[i], st.syyCPU[i] = center(vms[i].CPU, st.ycCPU[i])
+		st.ycMem[i] = backing[:n:n]
+		backing = backing[n:]
+		st.peakMem[i], st.minMem[i], st.syyMem[i] = center(vms[i].Mem, st.ycMem[i])
+	}
+	return st
+}
+
+// screenFits classifies a candidate placement using peak/min bounds:
+// +1 certainly fits, -1 certainly does not, 0 unknown (caller must run
+// the full ServerPlan.fits scan). The bounds are sound because IEEE
+// rounding is monotone: srvPeak+vmPeak dominates every per-sample sum
+// and srvPeak+vmMin is dominated by the sum at the server's peak
+// sample, in real arithmetic and therefore after rounding too.
+func screenFits(srvPeakCPU, srvPeakMem float64, st *vmStats, idx int, capCPU, capMem float64) int {
+	if srvPeakCPU+st.peakCPU[idx] <= capCPU+1e-9 && srvPeakMem+st.peakMem[idx] <= capMem+1e-9 {
+		return 1
+	}
+	if srvPeakCPU+st.minCPU[idx] > capCPU+1e-9 || srvPeakMem+st.minMem[idx] > capMem+1e-9 {
+		return -1
+	}
+	return 0
+}
+
+// case1Scratch is the reusable working set of one allocate1D call.
+// The sweep layer runs thousands of slot allocations back to back;
+// pooling keeps them from churning the GC. Every slice is fully
+// rewritten before it is read, so reuse cannot leak state between
+// calls.
+type case1Scratch struct {
+	peakCPU, minCPU, peakMem, minMem []float64
+	// scr packs each FFD-order candidate's screen bounds
+	// [minCPU, minMem, peakCPU, peakMem] into one stride-4 record so
+	// the per-round screen touches one cache line per candidate
+	// instead of four parallel arrays.
+	scr                           []float64
+	sSyy, ycAll, dx               []float64
+	order, pending, active, fitAt []int
+}
+
+var case1Pool = sync.Pool{New: func() any { return new(case1Scratch) }}
+
+func (s *case1Scratch) ensure(nv, n int) {
+	if cap(s.peakCPU) < nv {
+		s.peakCPU = make([]float64, nv)
+		s.minCPU = make([]float64, nv)
+		s.peakMem = make([]float64, nv)
+		s.minMem = make([]float64, nv)
+		s.scr = make([]float64, 4*nv)
+		s.sSyy = make([]float64, nv)
+		s.order = make([]int, nv)
+		s.pending = make([]int, nv)
+		s.active = make([]int, nv)
+		s.fitAt = make([]int, nv)
+	}
+	s.peakCPU = s.peakCPU[:nv]
+	s.minCPU = s.minCPU[:nv]
+	s.peakMem = s.peakMem[:nv]
+	s.minMem = s.minMem[:nv]
+	s.scr = s.scr[:4*nv]
+	s.sSyy = s.sSyy[:nv]
+	s.order = s.order[:nv]
+	s.pending = s.pending[:nv]
+	s.active = s.active[:nv]
+	s.fitAt = s.fitAt[:nv]
+	if cap(s.ycAll) < nv*n {
+		s.ycAll = make([]float64, nv*n)
+	}
+	s.ycAll = s.ycAll[:nv*n]
+	if cap(s.dx) < n {
+		s.dx = make([]float64, n)
+	}
+	s.dx = s.dx[:n]
+}
+
+// seriesBounds returns the maximum and minimum of a series with the
+// mathx.Max fold (first element seed, index-order scan).
+func seriesBounds(series []float64) (peak, min float64) {
+	peak, min = series[0], series[0]
+	for _, x := range series[1:] {
+		if x > peak {
+			peak = x
+		}
+		if x < min {
+			min = x
+		}
+	}
+	return peak, min
+}
+
 // allocate1D is Algorithm 1: correlation-aware first-fit-decreasing on
 // the CPU dimension. Servers open one at a time; an empty server takes
 // the largest unallocated VM; a non-empty server repeatedly takes the
@@ -134,71 +335,315 @@ func (e *EPACT) allocateCase1(vms []VMDemand, spec ServerSpec, nCPU, nMem int, p
 // complementary pattern (max Pearson φ) among those that keep the
 // aggregated peak under the cap. When none fits, the next server
 // opens.
+//
+// The working set is laid out in FFD order (struct-of-arrays) so the
+// candidate scan walks contiguous memory; the visiting order is
+// exactly the one a sorted pending list yields.
 func allocate1D(vms []VMDemand, capCPU, capMem float64) (*Assignment, error) {
-	// First-Fit-Decreasing order by predicted CPU peak.
-	order := make([]int, len(vms))
+	nv := len(vms)
+	n := len(vms[0].CPU)
+
+	scratch := case1Pool.Get().(*case1Scratch)
+	scratch.ensure(nv, n)
+	defer case1Pool.Put(scratch)
+
+	// Pass 1: per-VM peaks and minima (sort key and screen bounds).
+	peakCPU := scratch.peakCPU
+	minCPU := scratch.minCPU
+	peakMem := scratch.peakMem
+	minMem := scratch.minMem
+	for i := range vms {
+		peakCPU[i], minCPU[i] = seriesBounds(vms[i].CPU)
+		peakMem[i], minMem[i] = seriesBounds(vms[i].Mem)
+	}
+
+	// First-Fit-Decreasing order by predicted CPU peak. Breaking ties
+	// (and any incomparable pairs) by index makes the comparator a
+	// total order whose unique result is the stable-sort permutation,
+	// without the stable sort's merge overhead.
+	order := scratch.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return vms[order[a]].PeakCPU() > vms[order[b]].PeakCPU()
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if peakCPU[va] > peakCPU[vb] {
+			return true
+		}
+		if peakCPU[vb] > peakCPU[va] {
+			return false
+		}
+		return va < vb
 	})
 
-	assigned := make([]bool, len(vms))
-	vmServer := make([]int, len(vms))
+	// Pass 2: gather the screen bounds into FFD order and center the
+	// CPU patterns (mathx.Pearson's dy fold: peak/mean/Σdy² computed by
+	// the exact same folds) into one flat row-per-candidate array.
+	scr := scratch.scr
+	sSyy := scratch.sSyy
+	ycAll := scratch.ycAll
+	for pi, idx := range order {
+		rec := scr[4*pi : 4*pi+4]
+		rec[0], rec[1] = minCPU[idx], minMem[idx]
+		rec[2], rec[3] = peakCPU[idx], peakMem[idx]
+		cpu := vms[idx].CPU
+		sum := 0.0
+		for _, x := range cpu {
+			sum += x
+		}
+		mean := sum / float64(n)
+		yc := ycAll[pi*n : pi*n+n]
+		syy := 0.0
+		for j, x := range cpu {
+			d := x - mean
+			yc[j] = d
+			syy += d * d
+		}
+		sSyy[pi] = syy
+	}
+
+	vmServer := make([]int, nv)
 	for i := range vmServer {
 		vmServer[i] = -1
 	}
 	var servers []*ServerPlan
-	remaining := len(vms)
 
-	cur := &ServerPlan{}
+	// pending holds the still-unallocated FFD positions; removing
+	// placed entries keeps each round's scan short and in FFD order
+	// (exactly the order an assigned-flag skip would visit). It stays
+	// sorted ascending, so winners are removed by binary search.
+	pending := scratch.pending
+	for i := range pending {
+		pending[i] = i
+	}
+
+	// active is the per-server working subset of pending. With
+	// non-negative demands a server's aggregate pattern only grows as
+	// VMs are added, so a candidate that certainly cannot fit (or
+	// fails the full fits scan) stays unfit for the rest of this
+	// server's fill and is dropped from active permanently; the next
+	// server starts from a fresh copy of pending. Dropping is gated on
+	// the minima so a (pathological) negative prediction falls back to
+	// full rescans rather than diverging from the reference scan.
+	canDrop := true
+	for i := range vms {
+		if minCPU[i] < 0 || minMem[i] < 0 {
+			canDrop = false
+			break
+		}
+	}
+	active := scratch.active[:0]
+	fitAt := scratch.fitAt // per-round positions (into active) of fitting candidates
+
+	// Per-round server-side Pearson state: the complementary pattern's
+	// centered values and Σdx², recomputed whenever cur changes.
+	dx := scratch.dx
+	var sxx, srvPeakCPU, srvPeakMem float64
+	updateRound := func(cur *ServerPlan) {
+		// mathx.Complement: m = Max(cur.CPU); pattCom[i] = m - cur.CPU[i].
+		m := cur.CPU[0]
+		for _, v := range cur.CPU[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		srvPeakCPU = m
+		// mathx.Mean over the complement, summed in index order.
+		sum := 0.0
+		for _, v := range cur.CPU {
+			sum += m - v
+		}
+		mx := sum / float64(n)
+		sxx = 0
+		for i, v := range cur.CPU {
+			d := (m - v) - mx
+			dx[i] = d
+			sxx += d * d
+		}
+		pm := cur.Mem[0]
+		for _, v := range cur.Mem[1:] {
+			if v > pm {
+				pm = v
+			}
+		}
+		srvPeakMem = pm
+	}
+
+	arena := planArena{n: n}
+	cur := arena.next()
 	servers = append(servers, cur)
-	for remaining > 0 {
+	boundCPU, boundMem := capCPU+1e-9, capMem+1e-9
+	for len(pending) > 0 {
 		if len(cur.VMs) == 0 {
 			// Lines 4-6: first (largest) unallocated VM seeds the server.
-			for _, idx := range order {
-				if assigned[idx] {
+			sp := pending[0]
+			pending = pending[1:]
+			idx := order[sp]
+			cur.add(idx, &vms[idx])
+			vmServer[idx] = len(servers) - 1
+			updateRound(cur)
+			active = append(active[:0], pending...)
+			continue
+		}
+		// Lines 8-12: complementary pattern and best-correlated fit,
+		// in three passes. The screen replicates screenFits with the
+		// certain-no-fit test first; the two certainty conditions are
+		// mutually exclusive (min ≤ peak), so the classification is
+		// unchanged.
+		//
+		// Filter pass: classify every active candidate, compact the
+		// unfit ones out, and collect the fitting ones.
+		w := 0
+		fitAt = fitAt[:0]
+		for _, sp := range active {
+			rec := scr[4*sp : 4*sp+4]
+			if srvPeakCPU+rec[0] > boundCPU || srvPeakMem+rec[1] > boundMem {
+				// Certainly does not fit.
+				if !canDrop {
+					active[w] = sp
+					w++
+				}
+				continue
+			}
+			if !(srvPeakCPU+rec[2] <= boundCPU && srvPeakMem+rec[3] <= boundMem) {
+				if !cur.fits(&vms[order[sp]], capCPU, capMem) {
+					if !canDrop {
+						active[w] = sp
+						w++
+					}
 					continue
 				}
-				cur.add(idx, &vms[idx])
-				vmServer[idx] = len(servers) - 1
-				assigned[idx] = true
-				remaining--
-				break
 			}
-			continue
+			active[w] = sp
+			w++
+			fitAt = append(fitAt, w-1)
 		}
-		// Lines 8-12: complementary pattern and best-correlated fit.
-		pattCom := mathx.Complement(cur.CPU)
-		bestIdx, bestPhi := -1, math.Inf(-1)
-		for _, idx := range order {
-			if assigned[idx] {
-				continue
-			}
-			if !cur.fits(&vms[idx], capCPU, capMem) {
-				continue
-			}
-			phi, err := mathx.Pearson(pattCom, vms[idx].CPU)
-			if err != nil {
-				return nil, err
+		active = active[:w]
+
+		// Dot + selection pass, in FFD order with the reference
+		// comparisons. Pearson numerators sxy = Σ dx[i]·yc[i] are
+		// computed four candidates at a time: each accumulator still
+		// receives its own addends in index order — interleaving only
+		// overlaps the four independent dependency chains — so every
+		// sxy is bit-identical to a lone mathx.Pearson fold.
+		nf := len(fitAt)
+		bestPos, bestPhi := -1, math.Inf(-1)
+		consider := func(at int, sxy, syy float64) {
+			var phi float64
+			if sxx != 0 && syy != 0 {
+				if sxy > 0 || bestPhi < 0 {
+					phi = sxy / math.Sqrt(sxx*syy)
+				}
+				// else φ ≤ 0 ≤ bestPhi: the candidate cannot win the
+				// strict comparison, and the recorded 0 loses identically.
 			}
 			if phi > bestPhi {
-				bestIdx, bestPhi = idx, phi
+				bestPos, bestPhi = at, phi
 			}
 		}
-		if bestIdx < 0 {
+		k := 0
+		for ; k+4 <= nf; k += 4 {
+			at0, at1, at2, at3 := fitAt[k], fitAt[k+1], fitAt[k+2], fitAt[k+3]
+			sp0, sp1, sp2, sp3 := active[at0], active[at1], active[at2], active[at3]
+			var s0, s1, s2, s3 float64
+			if sxx != 0 {
+				y0 := ycAll[sp0*n:][:len(dx)]
+				y1 := ycAll[sp1*n:][:len(dx)]
+				y2 := ycAll[sp2*n:][:len(dx)]
+				y3 := ycAll[sp3*n:][:len(dx)]
+				for i, d := range dx {
+					s0 += d * y0[i]
+					s1 += d * y1[i]
+					s2 += d * y2[i]
+					s3 += d * y3[i]
+				}
+			}
+			consider(at0, s0, sSyy[sp0])
+			consider(at1, s1, sSyy[sp1])
+			consider(at2, s2, sSyy[sp2])
+			consider(at3, s3, sSyy[sp3])
+		}
+		for ; k < nf; k++ {
+			at := fitAt[k]
+			sp := active[at]
+			s := 0.0
+			if sxx != 0 {
+				y := ycAll[sp*n:][:len(dx)]
+				for i, d := range dx {
+					s += d * y[i]
+				}
+			}
+			consider(at, s, sSyy[sp])
+		}
+		if bestPos < 0 {
 			// Lines 13-14: nothing fits; turn on another server.
-			cur = &ServerPlan{}
+			cur = arena.next()
 			servers = append(servers, cur)
+			active = append(active[:0], pending...)
 			continue
 		}
-		cur.add(bestIdx, &vms[bestIdx])
-		vmServer[bestIdx] = len(servers) - 1
-		assigned[bestIdx] = true
-		remaining--
+		sp := active[bestPos]
+		active = append(active[:bestPos], active[bestPos+1:]...)
+		pi := sort.SearchInts(pending, sp)
+		pending = append(pending[:pi], pending[pi+1:]...)
+		idx := order[sp]
+		cur.add(idx, &vms[idx])
+		vmServer[idx] = len(servers) - 1
+		updateRound(cur)
 	}
 	return &Assignment{Servers: servers, VMServer: vmServer}, nil
+}
+
+// srvState caches the server-side halves of the Eq. 2 merit terms for
+// one server of Algorithm 2: the centered complementary patterns with
+// their Σdx² (Pearson numerator/denominator halves) and the remaining
+// capacity patterns (L2 distance operand), refreshed whenever the
+// server's load changes.
+type srvState struct {
+	dxCPU, dxMem   []float64
+	sxxCPU, sxxMem float64
+	remCPU, remMem []float64
+	peakCPU        float64
+	peakMem        float64
+	dirty          bool
+}
+
+func (s *srvState) update(srv *ServerPlan, capCPU, capMem float64, n int) {
+	s.dirty = false
+	if srv.CPU == nil {
+		// Empty server: complement of a zero pattern is zero, so all
+		// centered values and Σdx² are zero and remaining capacity is
+		// the full cap (cap - 0 == cap exactly).
+		for i := 0; i < n; i++ {
+			s.dxCPU[i], s.dxMem[i] = 0, 0
+			s.remCPU[i], s.remMem[i] = capCPU, capMem
+		}
+		s.sxxCPU, s.sxxMem = 0, 0
+		s.peakCPU, s.peakMem = 0, 0
+		return
+	}
+	side := func(series []float64, dx, rem []float64, capacity float64) (sxx, peak float64) {
+		m := series[0]
+		for _, v := range series[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for _, v := range series {
+			sum += m - v
+		}
+		mx := sum / float64(n)
+		for i, v := range series {
+			d := (m - v) - mx
+			dx[i] = d
+			sxx += d * d
+			rem[i] = capacity - v
+		}
+		return sxx, m
+	}
+	s.sxxCPU, s.peakCPU = side(srv.CPU, s.dxCPU, s.remCPU, capCPU)
+	s.sxxMem, s.peakMem = side(srv.Mem, s.dxMem, s.remMem, capMem)
 }
 
 // allocateCase2 handles the memory-dominated case via Algorithm 2.
@@ -208,40 +653,72 @@ func (e *EPACT) allocateCase2(vms []VMDemand, spec ServerSpec, nMem int, peakCPU
 	capCPU := spec.CPUPoints() * fOpt.GHz() / spec.FMax.GHz()
 	capMem := spec.MemPoints()
 
+	plans := make([]ServerPlan, nMem)
 	servers := make([]*ServerPlan, nMem)
 	for i := range servers {
-		servers[i] = &ServerPlan{}
+		servers[i] = &plans[i]
 	}
 	vmServer := make([]int, len(vms))
 	for i := range vmServer {
 		vmServer[i] = -1
 	}
 
+	st := newVMStats(vms)
+	for i := range vms {
+		st.sortKey[i] = st.peakCPU[i] + st.peakMem[i]
+	}
+
 	// Iterate VMs largest-first for packing stability (the paper's
-	// loop is order-agnostic).
+	// loop is order-agnostic). Index tie-breaks give the stable-sort
+	// permutation without the stable sort's merge overhead.
 	order := make([]int, len(vms))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return vms[order[a]].PeakCPU()+vms[order[a]].PeakMem() >
-			vms[order[b]].PeakCPU()+vms[order[b]].PeakMem()
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if st.sortKey[va] > st.sortKey[vb] {
+			return true
+		}
+		if st.sortKey[vb] > st.sortKey[va] {
+			return false
+		}
+		return va < vb
 	})
 
 	wCPU := capCPU / (capCPU + capMem)
 	wMem := capMem / (capCPU + capMem)
 
+	n := st.n
+	newState := func() *srvState {
+		return &srvState{
+			dxCPU: make([]float64, n), dxMem: make([]float64, n),
+			remCPU: make([]float64, n), remMem: make([]float64, n),
+			dirty: true,
+		}
+	}
+	states := make([]*srvState, len(servers))
+	for i := range states {
+		states[i] = newState()
+	}
+
 	for _, idx := range order {
 		vm := &vms[idx]
 		bestServer, bestMerit := -1, math.Inf(-1)
 		for j, srv := range servers {
-			if !srv.fits(vm, capCPU, capMem) {
+			ss := states[j]
+			if ss.dirty {
+				ss.update(srv, capCPU, capMem, n)
+			}
+			switch screenFits(ss.peakCPU, ss.peakMem, st, idx, capCPU, capMem) {
+			case -1:
 				continue
+			case 0:
+				if !srv.fits(vm, capCPU, capMem) {
+					continue
+				}
 			}
-			merit, err := eq2Merit(srv, vm, capCPU, capMem, wCPU, wMem)
-			if err != nil {
-				return nil, err
-			}
+			merit := eq2MeritCached(ss, st, idx, vm, wCPU, wMem)
 			if merit > bestMerit {
 				bestServer, bestMerit = j, merit
 			}
@@ -250,9 +727,11 @@ func (e *EPACT) allocateCase2(vms []VMDemand, spec ServerSpec, nMem int, peakCPU
 			// The fixed pool cannot host the VM (prediction overshoot):
 			// turn on one more server, as a real system must.
 			servers = append(servers, &ServerPlan{})
+			states = append(states, newState())
 			bestServer = len(servers) - 1
 		}
 		servers[bestServer].add(idx, vm)
+		states[bestServer].dirty = true
 		vmServer[idx] = bestServer
 	}
 
@@ -267,51 +746,37 @@ func (e *EPACT) allocateCase2(vms []VMDemand, spec ServerSpec, nMem int, peakCPU
 	}, nil
 }
 
-// eq2Merit evaluates the Eq. 2 merit of placing vm on srv: shape
-// affinity (Pearson of the VM pattern with the server's complementary
-// pattern) divided by the Euclidean distance between the VM pattern
-// and the server's remaining capacity, summed over the CPU and memory
-// dimensions with cap-derived weights. A vanishing distance means a
-// perfect fill and is floored to keep the merit finite.
-func eq2Merit(srv *ServerPlan, vm *VMDemand, capCPU, capMem, wCPU, wMem float64) (float64, error) {
+// eq2MeritCached evaluates the Eq. 2 merit of placing VM idx on the
+// server whose cached state is ss: shape affinity (Pearson of the VM
+// pattern with the server's complementary pattern) divided by the
+// Euclidean distance between the VM pattern and the server's remaining
+// capacity, summed over the CPU and memory dimensions with cap-derived
+// weights. A vanishing distance means a perfect fill and is floored to
+// keep the merit finite. The arithmetic mirrors eq2MeritReference
+// (Pearson + L2Distance on materialised slices) bit for bit.
+func eq2MeritCached(ss *srvState, st *vmStats, idx int, vm *VMDemand, wCPU, wMem float64) float64 {
 	const minDist = 1e-6
-	n := len(vm.CPU)
 
-	srvCPU := srv.CPU
-	srvMem := srv.Mem
-	if srvCPU == nil {
-		srvCPU = make([]float64, n)
-		srvMem = make([]float64, n)
+	side := func(dx []float64, sxx, syy float64, yc, series, rem []float64) (phi, dist float64) {
+		if sxx != 0 && syy != 0 {
+			sxy := 0.0
+			for i, d := range dx {
+				sxy += d * yc[i]
+			}
+			phi = sxy / math.Sqrt(sxx*syy)
+		}
+		ssq := 0.0
+		for i, v := range series {
+			d := v - rem[i]
+			ssq += d * d
+		}
+		dist = math.Sqrt(ssq)
+		if dist < minDist {
+			dist = minDist
+		}
+		return phi, dist
 	}
-
-	phiCPU, err := mathx.Pearson(mathx.Complement(srvCPU), vm.CPU)
-	if err != nil {
-		return 0, err
-	}
-	phiMem, err := mathx.Pearson(mathx.Complement(srvMem), vm.Mem)
-	if err != nil {
-		return 0, err
-	}
-
-	remCPU := make([]float64, n)
-	remMem := make([]float64, n)
-	for i := 0; i < n; i++ {
-		remCPU[i] = capCPU - srvCPU[i]
-		remMem[i] = capMem - srvMem[i]
-	}
-	distCPU, err := mathx.L2Distance(vm.CPU, remCPU)
-	if err != nil {
-		return 0, err
-	}
-	distMem, err := mathx.L2Distance(vm.Mem, remMem)
-	if err != nil {
-		return 0, err
-	}
-	if distCPU < minDist {
-		distCPU = minDist
-	}
-	if distMem < minDist {
-		distMem = minDist
-	}
-	return wCPU*phiCPU/distCPU + wMem*phiMem/distMem, nil
+	phiCPU, distCPU := side(ss.dxCPU, ss.sxxCPU, st.syyCPU[idx], st.ycCPU[idx], vm.CPU, ss.remCPU)
+	phiMem, distMem := side(ss.dxMem, ss.sxxMem, st.syyMem[idx], st.ycMem[idx], vm.Mem, ss.remMem)
+	return wCPU*phiCPU/distCPU + wMem*phiMem/distMem
 }

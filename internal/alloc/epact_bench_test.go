@@ -1,0 +1,48 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// BenchmarkEPACTAllocateCase1 pins the CPU-dominated slot allocation
+// (Algorithm 1), the hot path of a simulated week.
+func BenchmarkEPACTAllocateCase1(b *testing.B) {
+	r := &epactRNG{s: 2018}
+	vms := genVMs(r, 150, 12, 80, 30)
+	spec := ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	e := &EPACT{Model: power.NTCServer()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := e.Allocate(vms, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.EPACTCase != 1 {
+			b.Fatal("expected case 1")
+		}
+	}
+}
+
+// BenchmarkEPACTAllocateCase2 pins the memory-dominated slot
+// allocation (Algorithm 2, Eq. 2 merit).
+func BenchmarkEPACTAllocateCase2(b *testing.B) {
+	r := &epactRNG{s: 2018}
+	vms := genVMs(r, 150, 12, 25, 95)
+	spec := ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+	e := &EPACT{Model: power.NTCServer()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := e.Allocate(vms, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.EPACTCase != 2 {
+			b.Fatal("expected case 2")
+		}
+	}
+}

@@ -115,6 +115,42 @@ func (p *ServerPlan) add(idx int, vm *VMDemand) {
 	p.VMs = append(p.VMs, idx)
 }
 
+// planArena bump-allocates ServerPlans with pre-zeroed pattern
+// backing for one Allocate call. The Assignment escapes to the
+// caller, so the slabs leave with it — the point is batching the ~3
+// heap allocations every opened server costs (plan, CPU+Mem patterns,
+// VMs growth) into a handful per chunk of servers. Patterns handed
+// out are zeroed and full-capacity sliced, so add's accumulation and
+// append discipline are unchanged.
+type planArena struct {
+	n      int // pattern length
+	plans  []ServerPlan
+	floats []float64
+	vmIdx  []int
+}
+
+const (
+	arenaChunk  = 16 // servers per slab
+	arenaVMsCap = 8  // VMs capacity per server before append reallocates
+)
+
+func (a *planArena) next() *ServerPlan {
+	if len(a.plans) == cap(a.plans) {
+		a.plans = make([]ServerPlan, 0, arenaChunk)
+		a.floats = make([]float64, 2*a.n*arenaChunk)
+		a.vmIdx = make([]int, arenaVMsCap*arenaChunk)
+	}
+	a.plans = a.plans[:len(a.plans)+1]
+	p := &a.plans[len(a.plans)-1]
+	p.CPU = a.floats[:a.n:a.n]
+	a.floats = a.floats[a.n:]
+	p.Mem = a.floats[:a.n:a.n]
+	a.floats = a.floats[a.n:]
+	p.VMs = a.vmIdx[:0:arenaVMsCap]
+	a.vmIdx = a.vmIdx[arenaVMsCap:]
+	return p
+}
+
 // fits reports whether adding vm keeps the plan under the caps.
 func (p *ServerPlan) fits(vm *VMDemand, capCPU, capMem float64) bool {
 	for i := range vm.CPU {

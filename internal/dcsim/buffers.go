@@ -1,0 +1,368 @@
+package dcsim
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/perf"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// numClasses is the number of workload classes the replay loop
+// aggregates over (LowMem/MidMem/HighMem).
+const numClasses = 3
+
+// runState holds everything one Run shares across its slots: the
+// DVFS-level lookup tables and the reusable scratch buffers that make
+// the steady-state slot loop allocation-free.
+//
+// The tables exploit that the online governor only ever requests
+// frequencies ClampFrequency snaps onto the server's finite DVFS grid:
+// observables (perf.Table), power coefficients (power.LevelPower) and
+// the capacity scale factor are precomputed once per level and indexed
+// by power.ServerModel.LevelIndex in the loop, bit-identical to
+// calling perf.Observe / ServerModel.Power at the clamped frequency
+// (see the property tests in internal/power and internal/perf).
+type runState struct {
+	cfg  *Config
+	spec alloc.ServerSpec
+
+	evalStart int
+	sampleSec float64
+	first     int
+	last      int
+
+	// vms is the reusable demand-header slice: per slot only the
+	// CPU/Mem window views change, never the backing array.
+	vms []alloc.VMDemand
+
+	// cpuWin and memWin hold the current slot's predicted windows,
+	// one SamplesPerSlot row per VM, packed back to back so the
+	// allocator's scans stay cache-resident.
+	cpuWin, memWin []float64
+
+	// resident is the reusable resident-set buffer for transition
+	// accounting (nil when transitions are disabled).
+	resident []float64
+
+	// DVFS-level tables; grid == nil means the server has no finite
+	// grid (DVFSStep <= 0) and the replay falls back to direct model
+	// evaluation per sample.
+	grid        []units.Frequency
+	obs         *perf.Table
+	levelPowers []power.LevelPower
+	scaleByLvl  []float64
+
+	// Columnar replay scratch: per-sample aggregates of one server's
+	// slot window, rebuilt per server from flat trace rows.
+	classCPU [numClasses][trace.SamplesPerSlot]float64
+	cpuTotal [trace.SamplesPerSlot]float64
+	memTotal [trace.SamplesPerSlot]float64
+
+	prevAsg *alloc.Assignment
+	slots   []SlotResult
+}
+
+func newRunState(cfg *Config) (*runState, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	spec := alloc.ServerSpec{
+		Cores:         cfg.Server.Cores,
+		MemContainers: cfg.Server.DRAM.Capacity.GB(),
+		FMax:          cfg.Server.FMax,
+		FMin:          cfg.Server.FMin,
+	}
+	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
+	first, last := cfg.StartSlot, slots
+	if cfg.NumSlots > 0 {
+		last = first + cfg.NumSlots
+	}
+	st := &runState{
+		cfg:       cfg,
+		spec:      spec,
+		evalStart: cfg.HistoryDays * trace.SamplesPerDay,
+		sampleSec: cfg.Trace.Interval.Seconds(),
+		first:     first,
+		last:      last,
+		vms:       make([]alloc.VMDemand, len(cfg.Trace.VMs)),
+		cpuWin:    make([]float64, len(cfg.Trace.VMs)*trace.SamplesPerSlot),
+		memWin:    make([]float64, len(cfg.Trace.VMs)*trace.SamplesPerSlot),
+		slots:     make([]SlotResult, 0, last-first),
+	}
+	if cfg.Transitions != (TransitionModel{}) {
+		st.resident = make([]float64, len(cfg.Trace.VMs))
+	}
+	if grid := cfg.Server.DVFSGrid(); grid != nil {
+		st.grid = grid
+		st.obs = perf.NewTable(cfg.Platform, grid, 1)
+		st.levelPowers = make([]power.LevelPower, len(grid))
+		st.scaleByLvl = make([]float64, len(grid))
+		for k, f := range grid {
+			st.levelPowers[k] = cfg.Server.LevelPowerAt(f)
+			st.scaleByLvl[k] = spec.FMax.GHz() / f.GHz()
+		}
+	}
+	return st, nil
+}
+
+// step simulates one slot: build demand views, allocate, replay, and
+// price transitions. It performs no heap allocations beyond what the
+// allocation policy itself allocates (pinned by
+// TestSlotLoopAllocationFree).
+func (st *runState) step(s int) error {
+	cfg := st.cfg
+	lo := s * trace.SamplesPerSlot // offset within the eval period
+	hi := lo + trace.SamplesPerSlot
+
+	// 1) Predicted demands: reuse the header slice and copy each VM's
+	// window into the run's compact per-slot buffer. The prediction
+	// rows span the whole evaluation period, so slot windows sit
+	// ~2 KB apart; packing them back to back keeps the allocator's
+	// many scans over the same 150×12 samples cache-resident. Values
+	// are copied verbatim — allocations are bit-identical.
+	for v := range st.vms {
+		cpuRow := st.cpuWin[v*trace.SamplesPerSlot : (v+1)*trace.SamplesPerSlot]
+		memRow := st.memWin[v*trace.SamplesPerSlot : (v+1)*trace.SamplesPerSlot]
+		copy(cpuRow, cfg.Predictions.CPU[v][lo:hi])
+		copy(memRow, cfg.Predictions.Mem[v][lo:hi])
+		st.vms[v].ID = v
+		st.vms[v].CPU = cpuRow
+		st.vms[v].Mem = memRow
+	}
+
+	// 2) Allocate.
+	asg, err := cfg.Policy.Allocate(st.vms, st.spec)
+	if err != nil {
+		return fmt.Errorf("dcsim: slot %d: %w", s, err)
+	}
+
+	// 3) Replay the actual traces against the assignment.
+	slot := st.replaySlot(asg, st.evalStart+lo)
+	slot.Slot = s
+	slot.PlannedFreq = asg.PlannedFreq
+
+	// 4) Transition accounting (zero under the paper model).
+	if cfg.Transitions != (TransitionModel{}) {
+		if err := residentSets(cfg.Trace, st.evalStart+lo, st.resident); err != nil {
+			return fmt.Errorf("dcsim: slot %d: %w", s, err)
+		}
+		te, stats := cfg.Transitions.slotTransitionEnergy(st.prevAsg, asg, st.resident, cfg.InitialActiveServers)
+		slot.TransitionEnergy = te
+		slot.Migrations = stats.Migrations
+		slot.Energy += te
+	}
+	st.prevAsg = asg
+	st.slots = append(st.slots, slot)
+	return nil
+}
+
+// replaySlot plays the actual traces of one slot against an
+// assignment: per server and sample it runs the shared online DVFS
+// governor, integrates power, and counts overutilisation. The demand
+// aggregation is columnar — per server it walks each member VM's flat
+// trace row once, accumulating per-sample totals in the run-scoped
+// scratch — which visits each per-sample accumulator in the same VM
+// order as the original per-sample pointer walk, so every float result
+// is bit-identical.
+func (st *runState) replaySlot(asg *alloc.Assignment, absLo int) SlotResult {
+	var out SlotResult
+	cfg := st.cfg
+	spec := st.spec
+	// Deliverable CPU capacity: demand beyond it is a violation. A
+	// dynamic-DVFS policy can boost to F_max, so the whole capacity is
+	// deliverable; a fixed-cap policy (COAT-OPT) is pinned at its
+	// planned frequency and can deliver only the corresponding share —
+	// the paper's "less control on violations ... using a fixed cap".
+	capCPU := spec.CPUPoints()
+	if asg.FixedFreq {
+		capCPU = spec.CPUPoints() * asg.PlannedFreq.GHz() / spec.FMax.GHz()
+	}
+	capMem := spec.MemPoints()
+
+	// Fixed-cap policies run every sample pinned at PlannedFreq, which
+	// need not lie on the DVFS grid: evaluate its observables and
+	// power coefficients once for the whole slot instead.
+	var fixedObs [numClasses]perf.Observables
+	var fixedLP power.LevelPower
+	var fixedScale float64
+	if asg.FixedFreq {
+		for c := 0; c < numClasses; c++ {
+			fixedObs[c] = perf.Observe(cfg.Platform, workload.Class(c), asg.PlannedFreq, 1)
+		}
+		fixedLP = cfg.Server.LevelPowerAt(asg.PlannedFreq)
+		fixedScale = spec.FMax.GHz() / asg.PlannedFreq.GHz()
+	}
+
+	active := 0
+	for _, srv := range asg.Servers {
+		if len(srv.VMs) == 0 {
+			continue
+		}
+		active++
+
+		// Columnar aggregation of the server's actual demand.
+		for i := range st.cpuTotal {
+			st.cpuTotal[i] = 0
+			st.memTotal[i] = 0
+		}
+		for c := range st.classCPU {
+			for i := range st.classCPU[c] {
+				st.classCPU[c][i] = 0
+			}
+		}
+		for _, v := range srv.VMs {
+			vm := cfg.Trace.VMs[v]
+			cpuRow := vm.CPU[absLo : absLo+trace.SamplesPerSlot]
+			memRow := vm.Mem[absLo : absLo+trace.SamplesPerSlot]
+			cls := &st.classCPU[vm.Class]
+			for i, c := range cpuRow {
+				cls[i] += c
+				st.cpuTotal[i] += c
+				st.memTotal[i] += memRow[i]
+			}
+		}
+
+		for i := 0; i < trace.SamplesPerSlot; i++ {
+			cpuTotal := st.cpuTotal[i]
+			memTotal := st.memTotal[i]
+
+			// Overutilisation accounting (Fig. 4): demand beyond the
+			// server's deliverable capacity even at F_max, or beyond
+			// physical memory.
+			if cpuTotal > capCPU+1e-9 || memTotal > capMem+1e-9 {
+				out.Violations++
+			}
+
+			// Online DVFS governor: the lowest level that delivers the
+			// demand (clipped at F_max when overloaded). Fixed-cap
+			// policies run pinned at their planned frequency instead.
+			var scale float64
+			lvl := -1
+			if asg.FixedFreq {
+				scale = fixedScale
+			} else if st.grid != nil {
+				needGHz := cpuTotal / spec.CPUPoints() * spec.FMax.GHz()
+				lvl = cfg.Server.LevelIndex(units.GHz(needGHz), len(st.grid))
+				scale = st.scaleByLvl[lvl]
+			}
+
+			if lvl >= 0 || asg.FixedFreq {
+				// Busy core-equivalents at the chosen frequency.
+				busy := cpuTotal / 100 * scale
+				if busy > float64(spec.Cores) {
+					busy = float64(spec.Cores)
+				}
+
+				// Per-class observables scale with the class's busy cores.
+				var wfm, llcR, llcW, memR, memW float64
+				for c := 0; c < numClasses; c++ {
+					classCPU := st.classCPU[c][i]
+					if classCPU == 0 {
+						continue
+					}
+					classBusy := classCPU / 100 * scale
+					var obs perf.Observables
+					if asg.FixedFreq {
+						obs = fixedObs[c]
+					} else {
+						obs = st.obs.At(workload.Class(c), lvl)
+					}
+					wfm += classBusy * obs.WFMFraction
+					llcR += classBusy * obs.LLCReadsPerSec
+					llcW += classBusy * obs.LLCWritesPerSec
+					memR += classBusy * obs.MemReadBytesPerSec
+					memW += classBusy * obs.MemWriteBytesPerSec
+				}
+				if busy > 0 {
+					wfm /= busy
+				}
+				var p units.Power
+				if asg.FixedFreq {
+					p = fixedLP.Evaluate(busy, wfm, llcR, llcW, memR, memW)
+				} else {
+					p = st.levelPowers[lvl].Evaluate(busy, wfm, llcR, llcW, memR, memW)
+				}
+				out.Energy += units.EnergyOver(p, st.sampleSec)
+				continue
+			}
+
+			// No finite DVFS grid (DVFSStep <= 0): evaluate the models
+			// directly, as the pre-table implementation did.
+			needGHz := cpuTotal / spec.CPUPoints() * spec.FMax.GHz()
+			f := cfg.Server.ClampFrequency(units.GHz(needGHz))
+			scale = spec.FMax.GHz() / f.GHz()
+			busy := cpuTotal / 100 * scale
+			if busy > float64(spec.Cores) {
+				busy = float64(spec.Cores)
+			}
+			var wfm, llcR, llcW, memR, memW float64
+			for c := 0; c < numClasses; c++ {
+				classCPU := st.classCPU[c][i]
+				if classCPU == 0 {
+					continue
+				}
+				classBusy := classCPU / 100 * scale
+				obs := perf.Observe(cfg.Platform, workload.Class(c), f, 1)
+				wfm += classBusy * obs.WFMFraction
+				llcR += classBusy * obs.LLCReadsPerSec
+				llcW += classBusy * obs.LLCWritesPerSec
+				memR += classBusy * obs.MemReadBytesPerSec
+				memW += classBusy * obs.MemWriteBytesPerSec
+			}
+			if busy > 0 {
+				wfm /= busy
+			}
+			op := power.OperatingPoint{
+				Freq:                f,
+				BusyCores:           busy,
+				WFMFraction:         wfm,
+				LLCReadsPerSec:      llcR,
+				LLCWritesPerSec:     llcW,
+				MemReadBytesPerSec:  memR,
+				MemWriteBytesPerSec: memW,
+			}
+			out.Energy += units.EnergyOver(cfg.Server.Power(op), st.sampleSec)
+		}
+	}
+	out.ActiveServers = active
+
+	// Pool-cap accounting: servers beyond the physical pool count as
+	// violations for every sample of the slot.
+	if cfg.MaxServers > 0 && active > cfg.MaxServers {
+		out.Violations += (active - cfg.MaxServers) * trace.SamplesPerSlot
+	}
+	return out
+}
+
+// finish aggregates the per-slot results.
+func (st *runState) finish() *Result {
+	label := st.cfg.TraceLabel
+	if label == "" {
+		label = "synthetic"
+	}
+	res := &Result{
+		Policy:    st.cfg.Policy.Name(),
+		Predictor: st.cfg.Predictions.Predictor,
+		Trace:     label,
+		Slots:     st.slots,
+	}
+	var activeSum int
+	for _, s := range res.Slots {
+		res.TotalEnergy += s.Energy
+		res.TotalViol += s.Violations
+		res.TotalMigrations += s.Migrations
+		res.TotalTransitionEnergy += s.TransitionEnergy
+		activeSum += s.ActiveServers
+		if s.ActiveServers > res.PeakActive {
+			res.PeakActive = s.ActiveServers
+		}
+	}
+	if len(res.Slots) > 0 {
+		res.MeanActive = float64(activeSum) / float64(len(res.Slots))
+	}
+	return res
+}

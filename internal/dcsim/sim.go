@@ -3,14 +3,13 @@ package dcsim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/alloc"
-	"repro/internal/perf"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/trace"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // Config parameterises one data-center run.
@@ -159,201 +158,46 @@ func (r *Result) ActiveServersPerSlot() []int {
 	return out
 }
 
-// Run simulates the evaluation period slot by slot.
+// Run simulates the evaluation period slot by slot. The heavy lifting
+// lives in runState (buffers.go): per-run lookup tables keyed by DVFS
+// level and reusable scratch buffers keep the slot loop allocation-free.
 func Run(cfg Config) (*Result, error) {
-	if err := validate(&cfg); err != nil {
+	st, err := newRunState(&cfg)
+	if err != nil {
 		return nil, err
 	}
-	spec := alloc.ServerSpec{
-		Cores:         cfg.Server.Cores,
-		MemContainers: cfg.Server.DRAM.Capacity.GB(),
-		FMax:          cfg.Server.FMax,
-		FMin:          cfg.Server.FMin,
-	}
-	evalStart := cfg.HistoryDays * trace.SamplesPerDay
-	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
-	nVMs := len(cfg.Trace.VMs)
-
-	label := cfg.TraceLabel
-	if label == "" {
-		label = "synthetic"
-	}
-	res := &Result{Policy: cfg.Policy.Name(), Predictor: cfg.Predictions.Predictor, Trace: label}
-	sampleSec := cfg.Trace.Interval.Seconds()
-
-	first, last := cfg.StartSlot, slots
-	if cfg.NumSlots > 0 {
-		last = first + cfg.NumSlots
-	}
-	var prevAsg *alloc.Assignment
-	for s := first; s < last; s++ {
-		lo := s * trace.SamplesPerSlot // offset within the eval period
-		hi := lo + trace.SamplesPerSlot
-
-		// 1) Build the predicted demands for this slot.
-		vms := make([]alloc.VMDemand, nVMs)
-		for v := 0; v < nVMs; v++ {
-			vms[v] = alloc.VMDemand{
-				ID:  v,
-				CPU: cfg.Predictions.CPU[v][lo:hi],
-				Mem: cfg.Predictions.Mem[v][lo:hi],
-			}
-		}
-
-		// 2) Allocate.
-		asg, err := cfg.Policy.Allocate(vms, spec)
-		if err != nil {
-			return nil, fmt.Errorf("dcsim: slot %d: %w", s, err)
-		}
-
-		// 3) Replay the actual traces against the assignment.
-		slot, err := replaySlot(&cfg, spec, asg, evalStart+lo, sampleSec)
-		if err != nil {
-			return nil, fmt.Errorf("dcsim: slot %d: %w", s, err)
-		}
-		slot.Slot = s
-		slot.PlannedFreq = asg.PlannedFreq
-
-		// 4) Transition accounting (zero under the paper model).
-		if cfg.Transitions != (TransitionModel{}) {
-			memBytes := residentSets(cfg.Trace, evalStart+lo)
-			te, stats := cfg.Transitions.slotTransitionEnergy(prevAsg, asg, memBytes, cfg.InitialActiveServers)
-			slot.TransitionEnergy = te
-			slot.Migrations = stats.Migrations
-			slot.Energy += te
-		}
-		prevAsg = asg
-		res.Slots = append(res.Slots, slot)
-	}
-
-	// Aggregate.
-	var activeSum int
-	for _, s := range res.Slots {
-		res.TotalEnergy += s.Energy
-		res.TotalViol += s.Violations
-		res.TotalMigrations += s.Migrations
-		res.TotalTransitionEnergy += s.TransitionEnergy
-		activeSum += s.ActiveServers
-		if s.ActiveServers > res.PeakActive {
-			res.PeakActive = s.ActiveServers
+	for s := st.first; s < st.last; s++ {
+		if err := st.step(s); err != nil {
+			return nil, err
 		}
 	}
-	if len(res.Slots) > 0 {
-		res.MeanActive = float64(activeSum) / float64(len(res.Slots))
-	}
-	return res, nil
+	return st.finish(), nil
 }
 
-// residentSets returns each VM's resident memory in bytes at sample
-// abs (its utilisation of the 1 GB container).
-func residentSets(tr *trace.Trace, abs int) []float64 {
-	out := make([]float64, len(tr.VMs))
+// residentSets fills out with each VM's resident memory in bytes at
+// sample abs (its utilisation of the 1 GB container). The bound is an
+// invariant established by validate — the evaluation window lies
+// inside the trace and all rows have uniform length — so an
+// out-of-range sample means the trace was swapped or truncated after
+// validation and is reported as an error rather than silently priced
+// as zero resident memory (which would under-bill migrations).
+func residentSets(tr *trace.Trace, abs int, out []float64) error {
+	if abs < 0 || abs >= tr.Samples() {
+		return fmt.Errorf("dcsim: resident-set sample %d outside trace (%d samples); trace modified after validation?",
+			abs, tr.Samples())
+	}
 	for v, vm := range tr.VMs {
-		if abs < len(vm.Mem) {
-			out[v] = vm.Mem[abs] / 100 * float64(1<<30)
-		}
+		out[v] = vm.Mem[abs] / 100 * float64(1<<30)
 	}
-	return out
+	return nil
 }
 
-// replaySlot plays the actual traces of one slot against an
-// assignment: per server and sample it runs the shared online DVFS
-// governor, integrates power, and counts overutilisation.
-func replaySlot(cfg *Config, spec alloc.ServerSpec, asg *alloc.Assignment, absLo int, sampleSec float64) (SlotResult, error) {
-	var out SlotResult
-	// Deliverable CPU capacity: demand beyond it is a violation. A
-	// dynamic-DVFS policy can boost to F_max, so the whole capacity is
-	// deliverable; a fixed-cap policy (COAT-OPT) is pinned at its
-	// planned frequency and can deliver only the corresponding share —
-	// the paper's "less control on violations ... using a fixed cap".
-	capCPU := spec.CPUPoints()
-	if asg.FixedFreq {
-		capCPU = spec.CPUPoints() * asg.PlannedFreq.GHz() / spec.FMax.GHz()
-	}
-	capMem := spec.MemPoints()
-
-	active := 0
-	for _, srv := range asg.Servers {
-		if len(srv.VMs) == 0 {
-			continue
-		}
-		active++
-		for i := 0; i < trace.SamplesPerSlot; i++ {
-			abs := absLo + i
-			// Aggregate actual demand per class.
-			var cpuByClass [3]float64
-			var cpuTotal, memTotal float64
-			for _, v := range srv.VMs {
-				vm := cfg.Trace.VMs[v]
-				cpuByClass[vm.Class] += vm.CPU[abs]
-				cpuTotal += vm.CPU[abs]
-				memTotal += vm.Mem[abs]
-			}
-
-			// Overutilisation accounting (Fig. 4): demand beyond the
-			// server's deliverable capacity even at F_max, or beyond
-			// physical memory.
-			if cpuTotal > capCPU+1e-9 || memTotal > capMem+1e-9 {
-				out.Violations++
-			}
-
-			// Online DVFS governor: the lowest level that delivers the
-			// demand (clipped at F_max when overloaded). Fixed-cap
-			// policies run pinned at their planned frequency instead.
-			var f units.Frequency
-			if asg.FixedFreq {
-				f = asg.PlannedFreq
-			} else {
-				needGHz := cpuTotal / spec.CPUPoints() * spec.FMax.GHz()
-				f = cfg.Server.ClampFrequency(units.GHz(needGHz))
-			}
-
-			// Busy core-equivalents at the chosen frequency.
-			scale := spec.FMax.GHz() / f.GHz()
-			busy := cpuTotal / 100 * scale
-			if busy > float64(spec.Cores) {
-				busy = float64(spec.Cores)
-			}
-
-			// Per-class observables scale with the class's busy cores.
-			var wfm, llcR, llcW, memR, memW float64
-			for c := 0; c < 3; c++ {
-				if cpuByClass[c] == 0 {
-					continue
-				}
-				classBusy := cpuByClass[c] / 100 * scale
-				obs := perf.Observe(cfg.Platform, workload.Class(c), f, 1)
-				wfm += classBusy * obs.WFMFraction
-				llcR += classBusy * obs.LLCReadsPerSec
-				llcW += classBusy * obs.LLCWritesPerSec
-				memR += classBusy * obs.MemReadBytesPerSec
-				memW += classBusy * obs.MemWriteBytesPerSec
-			}
-			if busy > 0 {
-				wfm /= busy
-			}
-
-			op := power.OperatingPoint{
-				Freq:                f,
-				BusyCores:           busy,
-				WFMFraction:         wfm,
-				LLCReadsPerSec:      llcR,
-				LLCWritesPerSec:     llcW,
-				MemReadBytesPerSec:  memR,
-				MemWriteBytesPerSec: memW,
-			}
-			out.Energy += units.EnergyOver(cfg.Server.Power(op), sampleSec)
-		}
-	}
-	out.ActiveServers = active
-
-	// Pool-cap accounting: servers beyond the physical pool count as
-	// violations for every sample of the slot.
-	if cfg.MaxServers > 0 && active > cfg.MaxServers {
-		out.Violations += (active - cfg.MaxServers) * trace.SamplesPerSlot
-	}
-	return out, nil
-}
+// validatedTraces memoises successful trace.Trace.Validate calls by
+// pointer. Traces are shared read-only across scenarios (the trace
+// package's contract), and sweeps replay the same trace thousands of
+// times — revalidating ~300k samples per Run is pure overhead. Only
+// success is cached; invalid traces are re-checked every time.
+var validatedTraces sync.Map // *trace.Trace → struct{}
 
 func validate(cfg *Config) error {
 	switch {
@@ -370,17 +214,33 @@ func validate(cfg *Config) error {
 	case cfg.HistoryDays <= 0 || cfg.EvalDays <= 0:
 		return errors.New("dcsim: HistoryDays and EvalDays must be positive")
 	}
-	if err := cfg.Trace.Validate(); err != nil {
-		return err
+	if _, ok := validatedTraces.Load(cfg.Trace); !ok {
+		if err := cfg.Trace.Validate(); err != nil {
+			return err
+		}
+		validatedTraces.Store(cfg.Trace, struct{}{})
 	}
 	wantSamples := cfg.EvalDays * trace.SamplesPerDay
 	if len(cfg.Predictions.CPU) != len(cfg.Trace.VMs) {
 		return fmt.Errorf("dcsim: predictions cover %d VMs, trace has %d",
 			len(cfg.Predictions.CPU), len(cfg.Trace.VMs))
 	}
-	if len(cfg.Predictions.CPU[0]) < wantSamples {
-		return fmt.Errorf("dcsim: predictions cover %d samples, need %d",
-			len(cfg.Predictions.CPU[0]), wantSamples)
+	if len(cfg.Predictions.Mem) != len(cfg.Trace.VMs) {
+		return fmt.Errorf("dcsim: memory predictions cover %d VMs, trace has %d",
+			len(cfg.Predictions.Mem), len(cfg.Trace.VMs))
+	}
+	// Check every row, not just CPU[0]: the slot loop slices
+	// Predictions.CPU[v][lo:hi] and Predictions.Mem[v][lo:hi] for all
+	// v, so one short row would panic mid-run.
+	for v := range cfg.Predictions.CPU {
+		if got := len(cfg.Predictions.CPU[v]); got < wantSamples {
+			return fmt.Errorf("dcsim: CPU predictions for VM %d cover %d samples, need %d",
+				v, got, wantSamples)
+		}
+		if got := len(cfg.Predictions.Mem[v]); got < wantSamples {
+			return fmt.Errorf("dcsim: memory predictions for VM %d cover %d samples, need %d",
+				v, got, wantSamples)
+		}
 	}
 	total := (cfg.HistoryDays + cfg.EvalDays) * trace.SamplesPerDay
 	if cfg.Trace.Samples() < total {

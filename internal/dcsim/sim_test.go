@@ -238,6 +238,146 @@ func TestFixedFreqPolicyDeliversLessCapacity(t *testing.T) {
 	}
 }
 
+func TestValidateChecksEveryPredictionRow(t *testing.T) {
+	// Regression: validate used to check only Predictions.CPU[0], so a
+	// short row further down (or a short memory row anywhere) would
+	// slip through and panic mid-run when the slot loop sliced it.
+	tr := testTrace(t, 10)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+
+	ps := oracle(t, tr)
+	ps.CPU[3] = ps.CPU[3][:5]
+	if _, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps)); err == nil {
+		t.Error("short CPU row 3 accepted")
+	}
+
+	ps = oracle(t, tr)
+	ps.Mem[7] = ps.Mem[7][:5]
+	if _, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps)); err == nil {
+		t.Error("short memory row 7 accepted")
+	}
+
+	ps = oracle(t, tr)
+	ps.Mem = ps.Mem[:4]
+	if _, err := Run(testConfig(t, tr, alloc.NewCOAT(spec), ps)); err == nil {
+		t.Error("memory rows for only 4 of 10 VMs accepted")
+	}
+}
+
+func TestResidentSetsBoundsAreAnInvariant(t *testing.T) {
+	// Regression: residentSets used to treat an out-of-range sample as
+	// zero resident memory, silently under-billing migrations. The
+	// bound is an invariant validate establishes, so breaking it must
+	// surface as an error.
+	tr := testTrace(t, 6)
+	out := make([]float64, len(tr.VMs))
+	for _, abs := range []int{-1, tr.Samples(), tr.Samples() + 100} {
+		if err := residentSets(tr, abs, out); err == nil {
+			t.Errorf("sample %d outside the %d-sample trace accepted", abs, tr.Samples())
+		}
+	}
+	if err := residentSets(tr, tr.Samples()-1, out); err != nil {
+		t.Fatalf("in-range sample rejected: %v", err)
+	}
+	for v, vm := range tr.VMs {
+		want := vm.Mem[tr.Samples()-1] / 100 * float64(1<<30)
+		if out[v] != want {
+			t.Fatalf("VM %d resident set = %v, want %v", v, out[v], want)
+		}
+	}
+}
+
+// TestWindowedRunsConcatenate pins the StartSlot/NumSlots contract the
+// epoch rebalancer depends on: under the paper-faithful transition
+// model (the zero value), a full run equals the concatenation of any
+// epoch windows covering the same period, with each window's closing
+// active-server count carried into the next via InitialActiveServers.
+func TestWindowedRunsConcatenate(t *testing.T) {
+	tr := testTrace(t, 40)
+	ps := oracle(t, tr)
+
+	run := func(start, num, initial int) *Result {
+		cfg := testConfig(t, tr, &alloc.EPACT{Model: power.NTCServer()}, ps)
+		cfg.StartSlot, cfg.NumSlots = start, num
+		cfg.InitialActiveServers = initial
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("window [%d,+%d): %v", start, num, err)
+		}
+		return res
+	}
+
+	full := run(0, 0, 0)
+	if len(full.Slots) != 48 {
+		t.Fatalf("full run has %d slots, want 48", len(full.Slots))
+	}
+
+	// Uneven windows: 5 + 19 + 24 = 48.
+	var cat []SlotResult
+	initial := 0
+	for _, w := range []struct{ start, num int }{{0, 5}, {5, 19}, {24, 24}} {
+		res := run(w.start, w.num, initial)
+		if len(res.Slots) != w.num {
+			t.Fatalf("window [%d,+%d) produced %d slots", w.start, w.num, len(res.Slots))
+		}
+		cat = append(cat, res.Slots...)
+		initial = res.Slots[len(res.Slots)-1].ActiveServers
+	}
+
+	for i := range full.Slots {
+		if full.Slots[i] != cat[i] {
+			t.Fatalf("slot %d differs: full %+v, windowed %+v", i, full.Slots[i], cat[i])
+		}
+	}
+}
+
+// stubPolicy hands back a prebuilt assignment, isolating the
+// dcsim-owned slot work from whatever the real policies allocate.
+type stubPolicy struct{ asg *alloc.Assignment }
+
+func (p *stubPolicy) Name() string { return "stub" }
+func (p *stubPolicy) Allocate([]alloc.VMDemand, alloc.ServerSpec) (*alloc.Assignment, error) {
+	return p.asg, nil
+}
+
+// TestSlotLoopAllocationFree pins the zero-allocation contract of the
+// steady-state slot loop: with the policy's own allocations factored
+// out, step performs no heap allocations — the demand windows, the
+// columnar replay and the slot append all run in run-scoped buffers.
+func TestSlotLoopAllocationFree(t *testing.T) {
+	tr := testTrace(t, 30)
+	ps := oracle(t, tr)
+	spec := alloc.ServerSpec{Cores: 16, MemContainers: 16, FMax: units.GHz(3.1), FMin: units.GHz(0.1)}
+
+	// A real slot-0 assignment, built once outside the measurement.
+	vms := make([]alloc.VMDemand, len(tr.VMs))
+	for v := range vms {
+		vms[v] = alloc.VMDemand{ID: v,
+			CPU: ps.CPU[v][:trace.SamplesPerSlot],
+			Mem: ps.Mem[v][:trace.SamplesPerSlot]}
+	}
+	e := &alloc.EPACT{Model: power.NTCServer()}
+	asg, err := e.Allocate(vms, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(t, tr, &stubPolicy{asg: asg}, ps)
+	st, err := newRunState(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		st.slots = st.slots[:0]
+		if err := st.step(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("slot loop allocates %.0f times per step, want 0", allocs)
+	}
+}
+
 func TestPoolCapViolations(t *testing.T) {
 	// A tiny pool must register overflow violations.
 	tr := testTrace(t, 60)

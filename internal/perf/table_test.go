@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func TestTableMatchesObserveBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *platform.Platform
+		srv  *power.ServerModel
+	}{
+		{"ntc", platform.NTCServer(), power.NTCServer()},
+		{"conventional", platform.IntelX5650(), power.IntelE5_2620()},
+	} {
+		grid := tc.srv.DVFSGrid()
+		tbl := NewTable(tc.p, grid, 1)
+		for li, f := range grid {
+			for _, c := range workload.Classes() {
+				want := Observe(tc.p, c, f, 1)
+				got := tbl.At(c, li)
+				if !obsBitEqual(got, want) {
+					t.Fatalf("%s: Table.At(%v, %d) = %+v, Observe(%v) = %+v", tc.name, c, li, got, f, want)
+				}
+			}
+		}
+	}
+}
+
+func obsBitEqual(a, b Observables) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return eq(a.Time, b.Time) && eq(a.ChipUIPS, b.ChipUIPS) &&
+		eq(a.WFMFraction, b.WFMFraction) &&
+		eq(a.LLCReadsPerSec, b.LLCReadsPerSec) && eq(a.LLCWritesPerSec, b.LLCWritesPerSec) &&
+		eq(a.MemReadBytesPerSec, b.MemReadBytesPerSec) && eq(a.MemWriteBytesPerSec, b.MemWriteBytesPerSec) &&
+		a.BandwidthSaturated == b.BandwidthSaturated
+}

@@ -1,0 +1,106 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// xorshift for reproducible random sampling without pulling in math/rand
+// ordering dependencies.
+type lvlRNG struct{ s uint64 }
+
+func (r *lvlRNG) next() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s>>11) / float64(1<<53)
+}
+
+func TestDVFSGridMatchesClampFrequency(t *testing.T) {
+	for _, srv := range []*ServerModel{NTCServer(), IntelE5_2620()} {
+		grid := srv.DVFSGrid()
+		if len(grid) == 0 {
+			t.Fatalf("%s: empty DVFS grid", srv.Name)
+		}
+		if grid[0] != srv.FMin || grid[len(grid)-1] != srv.FMax {
+			t.Fatalf("%s: grid endpoints %v..%v, want %v..%v",
+				srv.Name, grid[0], grid[len(grid)-1], srv.FMin, srv.FMax)
+		}
+		// ClampFrequency is NOT idempotent on its own grid (the Ceil
+		// over divided GHz values can round a grid level up one step:
+		// Ceil((0.4-0.1)/0.1) = 4 in float64), so the property that
+		// matters is only that LevelIndex agrees with ClampFrequency —
+		// including for grid levels themselves as inputs.
+		for k, f := range grid {
+			want := srv.ClampFrequency(f)
+			if got := grid[srv.LevelIndex(f, len(grid))]; got != want {
+				t.Errorf("%s: grid[LevelIndex(grid[%d]=%v)] = %v, ClampFrequency = %v",
+					srv.Name, k, f, got, want)
+			}
+		}
+		// Dense random sweep (including out-of-range requests): the
+		// level the grid index selects must be bit-identical to what
+		// ClampFrequency returns.
+		r := &lvlRNG{s: 0x9e3779b97f4a7c15}
+		lo := srv.FMin.GHz() - 0.5
+		hi := srv.FMax.GHz() + 0.5
+		for i := 0; i < 200000; i++ {
+			f := units.GHz(lo + r.next()*(hi-lo))
+			want := srv.ClampFrequency(f)
+			idx := srv.LevelIndex(f, len(grid))
+			if idx < 0 || idx >= len(grid) {
+				t.Fatalf("%s: LevelIndex(%v) = %d out of range", srv.Name, f, idx)
+			}
+			if grid[idx] != want {
+				t.Fatalf("%s: grid[LevelIndex(%v)] = %v, ClampFrequency = %v (bit mismatch)",
+					srv.Name, f, grid[idx], want)
+			}
+		}
+	}
+}
+
+func TestDVFSGridNoStepFallback(t *testing.T) {
+	srv := NTCServer()
+	srv.DVFSStep = 0
+	if g := srv.DVFSGrid(); g != nil {
+		t.Fatalf("DVFSGrid with step 0 = %v, want nil", g)
+	}
+	if idx := srv.LevelIndex(units.GHz(1.0), 0); idx != -1 {
+		t.Fatalf("LevelIndex with no grid = %d, want -1", idx)
+	}
+}
+
+func TestLevelPowerMatchesServerPower(t *testing.T) {
+	for _, srv := range []*ServerModel{NTCServer(), IntelE5_2620()} {
+		grid := srv.DVFSGrid()
+		r := &lvlRNG{s: 0xdeadbeefcafe1234}
+		for _, f := range grid {
+			lp := srv.LevelPowerAt(f)
+			for trial := 0; trial < 64; trial++ {
+				op := OperatingPoint{
+					Freq:                f,
+					BusyCores:           r.next() * float64(srv.Cores) * 1.1, // include clamp region
+					WFMFraction:         r.next() * 1.1,
+					LLCReadsPerSec:      r.next() * 5e8,
+					LLCWritesPerSec:     r.next() * 3e8,
+					MemReadBytesPerSec:  r.next() * 1e9,
+					MemWriteBytesPerSec: r.next() * 1e9,
+				}
+				if trial%8 == 0 {
+					op.MemReadBytesPerSec = 0
+					op.MemWriteBytesPerSec = 0 // idle-bank branch
+				}
+				want := srv.Power(op)
+				got := lp.Evaluate(op.BusyCores, op.WFMFraction,
+					op.LLCReadsPerSec, op.LLCWritesPerSec,
+					op.MemReadBytesPerSec, op.MemWriteBytesPerSec)
+				if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+					t.Fatalf("%s f=%v: LevelPower.Evaluate = %v, ServerModel.Power = %v (bit mismatch)",
+						srv.Name, f, got, want)
+				}
+			}
+		}
+	}
+}

@@ -27,35 +27,48 @@ func Dispatch(f Fleet, tr *trace.Trace, historySamples int) (Assignment, error) 
 	f = f.normalized()
 	switch f.Dispatcher {
 	case "uniform":
-		return dispatchUniform(f, tr), nil
+		return dispatchUniform(f, tr)
 	case "greedy-proportional":
 		return dispatchGreedyProportional(f, tr)
 	case "follow-the-load":
-		return dispatchFollowTheLoad(f, tr, historySamples), nil
+		return dispatchFollowTheLoad(f, tr, historySamples)
 	default:
 		return nil, fmt.Errorf("topology: unknown dispatcher %q", f.Dispatcher)
 	}
 }
+
+// errNoDispatchableDC is returned when every DC in the fleet is
+// drained (explicit share 0). Validate rejects such fleets up front;
+// the dispatchers re-check so a caller that skips validation gets an
+// error instead of a lost VM population.
+var errNoDispatchableDC = fmt.Errorf("topology: every DC has share 0 — no dispatchable datacenter")
 
 // dispatchUniform interleaves VMs across DCs proportionally to their
 // Share, using the D'Hondt highest-averages rule: VM i goes to the DC
 // minimizing (hosted+1)/share, earliest DC on ties. The result tracks
 // the share quotas at every prefix, so correlated VM groups (adjacent
 // IDs in the synthetic traces) spread instead of landing in one DC.
-func dispatchUniform(f Fleet, tr *trace.Trace) Assignment {
+// Drained DCs (share 0) receive nothing.
+func dispatchUniform(f Fleet, tr *trace.Trace) (Assignment, error) {
 	out := make(Assignment, len(f.DCs))
 	for v := range tr.VMs {
-		best := 0
+		best := -1
 		bestQ := 0.0
 		for i, dc := range f.DCs {
+			if dc.Share <= 0 {
+				continue
+			}
 			q := float64(len(out[i])+1) / dc.Share
-			if i == 0 || q < bestQ {
+			if best < 0 || q < bestQ {
 				best, bestQ = i, q
 			}
 		}
+		if best < 0 {
+			return nil, errNoDispatchableDC
+		}
 		out[best] = append(out[best], v)
 	}
-	return out
+	return out, nil
 }
 
 // ProportionalityScore rates a server model's hardware energy
@@ -84,8 +97,12 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 		score float64
 		cap   int // VM capacity; 0 = unbounded
 	}
-	order := make([]ranked, len(f.DCs))
+	order := make([]ranked, 0, len(f.DCs))
 	for i, dc := range f.DCs {
+		if dc.Share <= 0 {
+			// Drained: never a fill target, whatever its ranking.
+			continue
+		}
 		// The DC's effective static power shifts its idle/peak ratio,
 		// so it belongs in the ranking; Run materialises the scenario
 		// default into the resolved specs before dispatching.
@@ -101,7 +118,10 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 		if dc.Servers > 0 {
 			cap = dc.Servers * slots
 		}
-		order[i] = ranked{idx: i, score: ProportionalityScore(m), cap: cap}
+		order = append(order, ranked{idx: i, score: ProportionalityScore(m), cap: cap})
+	}
+	if len(order) == 0 {
+		return nil, errNoDispatchableDC
 	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].score > order[b].score })
 
@@ -120,11 +140,12 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 // dispatchFollowTheLoad balances observed load latency-aware: each
 // DC's weight is share / latency (closer DCs attract more load), and
 // VMs — heaviest observed mean CPU first, stable by ID — go greedily
-// to the DC with the lowest weighted load after placement. Only the
-// history window feeds the means (the load an operator has already
-// seen); dispatch never peeks at the evaluation period. Per-DC lists
-// are re-sorted ascending so downstream replay order stays canonical.
-func dispatchFollowTheLoad(f Fleet, tr *trace.Trace, historySamples int) Assignment {
+// to the DC with the lowest weighted load after placement. Drained
+// DCs (share 0, hence weight 0) receive nothing. Only the history
+// window feeds the means (the load an operator has already seen);
+// dispatch never peeks at the evaluation period. Per-DC lists are
+// re-sorted ascending so downstream replay order stays canonical.
+func dispatchFollowTheLoad(f Fleet, tr *trace.Trace, historySamples int) (Assignment, error) {
 	weights := make([]float64, len(f.DCs))
 	for i, dc := range f.DCs {
 		lat := dc.LatencyMs
@@ -159,13 +180,19 @@ func dispatchFollowTheLoad(f Fleet, tr *trace.Trace, historySamples int) Assignm
 	out := make(Assignment, len(f.DCs))
 	hosted := make([]float64, len(f.DCs))
 	for _, vm := range loads {
-		best := 0
+		best := -1
 		bestQ := 0.0
 		for i := range f.DCs {
+			if weights[i] <= 0 {
+				continue
+			}
 			q := (hosted[i] + vm.mean) / weights[i]
-			if i == 0 || q < bestQ {
+			if best < 0 || q < bestQ {
 				best, bestQ = i, q
 			}
+		}
+		if best < 0 {
+			return nil, errNoDispatchableDC
 		}
 		out[best] = append(out[best], vm.idx)
 		hosted[best] += vm.mean
@@ -173,5 +200,5 @@ func dispatchFollowTheLoad(f Fleet, tr *trace.Trace, historySamples int) Assignm
 	for i := range out {
 		sort.Ints(out[i])
 	}
-	return out
+	return out, nil
 }

@@ -62,9 +62,20 @@ type DCSpec struct {
 	// multiplies each DC's IT energy by it. 0 defaults to 1.0.
 	PUE float64 `json:"pue,omitempty"`
 
-	// Share is the DC's dispatch weight (uniform dispatch) and its
-	// fraction of a relative fleet's pool. 0 defaults to 1.
+	// Share is the DC's dispatch weight (uniform and follow-the-load
+	// dispatch) and its fraction of a relative fleet's pool. 0 defaults
+	// to 1 unless ShareSet records a deliberate zero — a drained DC
+	// that stays in the fleet (its fixed pool keeps reporting) but
+	// receives no VMs from any dispatcher and no slice of a relative
+	// pool.
 	Share float64 `json:"share,omitempty"`
+
+	// ShareSet reports whether Share was explicitly present in the
+	// DC's JSON (or set by a caller building specs in code) — the same
+	// presence tracking StaticPowerSet provides, so an explicit
+	// `"share": 0` drains the DC instead of being clobbered to the
+	// default weight 1.
+	ShareSet bool `json:"-"`
 
 	// LatencyMs is the DC's network distance from the load source;
 	// follow-the-load dispatch discounts a DC's weight by it, and the
@@ -104,7 +115,7 @@ type dcSpecJSON struct {
 	Name         string   `json:"name"`
 	Servers      int      `json:"servers,omitempty"`
 	PUE          float64  `json:"pue,omitempty"`
-	Share        float64  `json:"share,omitempty"`
+	Share        *float64 `json:"share,omitempty"`
 	LatencyMs    *float64 `json:"latency_ms,omitempty"`
 	Server       string   `json:"server,omitempty"`
 	StaticPowerW *float64 `json:"static_power_w,omitempty"`
@@ -123,7 +134,11 @@ func (d *DCSpec) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*d = DCSpec{Name: raw.Name, Servers: raw.Servers, PUE: raw.PUE,
-		Share: raw.Share, Server: raw.Server}
+		Server: raw.Server}
+	if raw.Share != nil {
+		d.Share = *raw.Share
+		d.ShareSet = true
+	}
 	if raw.LatencyMs != nil {
 		d.LatencyMs = *raw.LatencyMs
 		d.LatencyMsSet = true
@@ -254,6 +269,19 @@ func (f Fleet) Validate() error {
 			return fmt.Errorf("topology: fleet %q: DC %q: %w", f.Name, dc.Name, err)
 		}
 	}
+	// At least one DC must be dispatchable: a DC with an explicit
+	// `"share": 0` is drained (receives no VMs), and a fleet where
+	// every DC is drained has nowhere to put the workload.
+	dispatchable := false
+	for _, dc := range f.DCs {
+		if dc.Share > 0 || !dc.ShareSet {
+			dispatchable = true
+			break
+		}
+	}
+	if !dispatchable {
+		return fmt.Errorf("topology: fleet %q: every DC has share 0 — no dispatchable datacenter", f.Name)
+	}
 	return nil
 }
 
@@ -268,7 +296,8 @@ func knownDispatcher(name string) bool {
 
 // normalized fills the per-DC defaults (PUE 1.0, Share 1, 10 ms
 // latency, uniform dispatch) so the dispatchers and the runner never
-// see zero values.
+// see accidental zero values. An explicit `"share": 0` (ShareSet) is
+// not an accident — it survives as a drained DC the dispatchers skip.
 func (f Fleet) normalized() Fleet {
 	if f.Dispatcher == "" {
 		f.Dispatcher = "uniform"
@@ -279,7 +308,7 @@ func (f Fleet) normalized() Fleet {
 		if dcs[i].PUE == 0 {
 			dcs[i].PUE = 1.0
 		}
-		if dcs[i].Share == 0 {
+		if dcs[i].Share == 0 && !dcs[i].ShareSet {
 			dcs[i].Share = 1
 		}
 		if dcs[i].LatencyMs == 0 && !dcs[i].LatencyMsSet {
@@ -305,6 +334,11 @@ func (f Fleet) Resolve(maxServers int) Fleet {
 	for i, dc := range f.DCs {
 		if dc.Servers > 0 {
 			fixed += dc.Servers
+			continue
+		}
+		if dc.Share <= 0 {
+			// A drained relative DC hosts nothing: it gets no slice of
+			// the pool and must not claim the one-server floor.
 			continue
 		}
 		relIdx = append(relIdx, i)

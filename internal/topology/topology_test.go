@@ -167,6 +167,9 @@ func TestValidateRejectsBadFleets(t *testing.T) {
 		{Name: "neg", DCs: []DCSpec{{Name: "a", Servers: -1}}},
 		{Name: "srv", DCs: []DCSpec{{Name: "a", Server: "quantum"}}},
 		{Name: "disp", Dispatcher: "warp", DCs: []DCSpec{{Name: "a"}}},
+		// Every DC drained by an explicit share 0: nowhere to dispatch.
+		{Name: "alldrained", DCs: []DCSpec{
+			{Name: "a", ShareSet: true}, {Name: "b", ShareSet: true}}},
 	}
 	for _, f := range cases {
 		if err := f.Validate(); err == nil {
@@ -552,6 +555,80 @@ func TestZeroShareDCIsNeverStarved(t *testing.T) {
 	r := f.Resolve(40)
 	if r.DCs[0].Servers != 20 || r.DCs[1].Servers != 20 {
 		t.Errorf("resolved pools = %d/%d, want 20/20", r.DCs[0].Servers, r.DCs[1].Servers)
+	}
+}
+
+// TestExplicitZeroShareDrainsDC pins the presence-tracking fix: a
+// fleet file saying `"share": 0` means a drained DC, not the default
+// weight 1 that used to clobber it. Every dispatcher must leave the
+// drained DC empty while still partitioning the whole population.
+func TestExplicitZeroShareDrainsDC(t *testing.T) {
+	tr := testTrace(t, 5, 40, 1)
+	f := Fleet{Name: "drainedpair", DCs: []DCSpec{
+		{Name: "drained", Share: 0, ShareSet: true},
+		{Name: "a", Share: 1},
+		{Name: "b", Share: 1, LatencyMs: 25},
+	}}
+	for _, disp := range DispatcherNames() {
+		f.Dispatcher = disp
+		asg, err := Dispatch(f.Resolve(40), tr, trace.SamplesPerDay/2)
+		if err != nil {
+			t.Fatalf("%s: %v", disp, err)
+		}
+		assertPartition(t, asg, 40)
+		if len(asg[0]) != 0 {
+			t.Errorf("%s: drained DC received %d VMs, want 0", disp, len(asg[0]))
+		}
+		if len(asg[1]) == 0 && len(asg[2]) == 0 {
+			t.Errorf("%s: live DCs received nothing", disp)
+		}
+	}
+}
+
+// TestShareZeroSurvivesJSON pins the decode side of the fix: an
+// explicit `"share": 0` is recorded as set and survives
+// normalisation, while an absent share still defaults to 1.
+func TestShareZeroSurvivesJSON(t *testing.T) {
+	f, err := ParseFleetJSON([]byte(
+		`{"name":"f","dcs":[{"name":"drained","share":0},{"name":"live"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.DCs[0].ShareSet || f.DCs[0].Share != 0 {
+		t.Errorf("explicit share 0 decoded as {Share: %g, ShareSet: %v}, want {0, true}",
+			f.DCs[0].Share, f.DCs[0].ShareSet)
+	}
+	if f.DCs[1].ShareSet {
+		t.Error("absent share decoded as explicitly set")
+	}
+	n := f.normalized()
+	if n.DCs[0].Share != 0 {
+		t.Errorf("normalisation clobbered the explicit zero share to %g", n.DCs[0].Share)
+	}
+	if n.DCs[1].Share != 1 {
+		t.Errorf("absent share normalised to %g, want the default 1", n.DCs[1].Share)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("fleet with one drained and one live DC must validate, got: %v", err)
+	}
+}
+
+// TestResolveExcludesDrainedDCFromPool pins pool resolution: a
+// drained relative DC gets no slice of the fleet pool and must not
+// claim the one-server floor (which would silently turn share 0 into
+// a running server).
+func TestResolveExcludesDrainedDCFromPool(t *testing.T) {
+	f := Fleet{Name: "x", DCs: []DCSpec{
+		{Name: "drained", ShareSet: true},
+		{Name: "a", Share: 3},
+		{Name: "b", Share: 1},
+	}}
+	r := f.Resolve(40)
+	if r.DCs[0].Servers != 0 {
+		t.Errorf("drained DC resolved to %d servers, want 0", r.DCs[0].Servers)
+	}
+	if r.DCs[1].Servers != 30 || r.DCs[2].Servers != 10 {
+		t.Errorf("live pools = %d/%d, want 30/10", r.DCs[1].Servers, r.DCs[2].Servers)
 	}
 }
 
