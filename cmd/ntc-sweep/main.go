@@ -103,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workerAddr  = fs.String("worker", "", "run as a distributed-sweep worker against the coordinator at this address")
 		distSpec    = fs.String("dist", "", `distributed execution in one process: "local:N" = coordinator + N workers`)
 		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "distributed modes: re-lease a scenario not completed within this window (crashed-worker retry)")
+		ckptDir     = fs.String("checkpoint-dir", "", "coordinator modes: journal completed rows here (atomic rename) so a killed run resumes with -resume")
+		resumeDir   = fs.String("resume", "", "resume a killed coordinator from this checkpoint directory (the journal defines the grid)")
+		serveBlobs  = fs.Bool("serve-blobs", true, "coordinator modes: ship file-backed trace/fleet inputs to workers without filesystem access to their paths")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +138,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if (*serveAddr != "" || *distSpec != "") && set["workers"] {
 		return fmt.Errorf("-workers applies to the in-process pool only; distributed modes size their own worker sets")
+	}
+	// Checkpointing, resume and blob serving are coordinator features:
+	// they need a coordinator in this process to act on.
+	coordinatorMode := *serveAddr != "" || *distSpec != ""
+	for _, f := range []struct {
+		name string
+		used bool
+	}{
+		{"checkpoint-dir", *ckptDir != ""},
+		{"resume", *resumeDir != ""},
+		{"serve-blobs", set["serve-blobs"]},
+	} {
+		if f.used && !coordinatorMode {
+			return fmt.Errorf("-%s needs a coordinator mode (-serve or -dist local:N)", f.name)
+		}
+	}
+	if *resumeDir != "" && *ckptDir != "" {
+		return fmt.Errorf("-resume and -checkpoint-dir are mutually exclusive (a resumed run keeps journaling to the checkpoint it resumes from)")
 	}
 	if *workerAddr != "" {
 		// A worker owns nothing: the coordinator defines the grid,
@@ -171,23 +192,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var g sweep.Grid
-	if *gridFile != "" {
+	var ck *dist.Checkpoint
+	if *resumeDir != "" {
+		// A resumed run's grid comes from the journal — the axis flags
+		// and -grid would describe a possibly different grid, so they
+		// conflict the same way -grid conflicts with axis flags.
+		if conflict := firstAxisFlag(fs); conflict != "" {
+			return fmt.Errorf("-resume and -%s are mutually exclusive (the checkpoint journal defines the grid)", conflict)
+		}
+		if *gridFile != "" {
+			return fmt.Errorf("-resume and -grid are mutually exclusive (the checkpoint journal defines the grid)")
+		}
+		var err error
+		if ck, err = dist.LoadCheckpoint(*resumeDir); err != nil {
+			return err
+		}
+		g = ck.Grid
+	} else if *gridFile != "" {
 		// The axis flags and -grid are mutually exclusive: silently
 		// ignoring explicit flags would run a different grid than the
 		// command line reads.
-		axisFlags := map[string]bool{
-			"policies": true, "vms": true, "max-servers": true, "days": true,
-			"history": true, "seeds": true, "static": true, "predictors": true,
-			"transitions": true, "churn": true, "trace": true, "topology": true,
-			"rebalance": true,
-		}
-		conflict := ""
-		fs.Visit(func(f *flag.Flag) {
-			if axisFlags[f.Name] && conflict == "" {
-				conflict = f.Name
-			}
-		})
-		if conflict != "" {
+		if conflict := firstAxisFlag(fs); conflict != "" {
 			return fmt.Errorf("-grid and -%s are mutually exclusive (the grid file defines every axis)", conflict)
 		}
 		data, err := os.ReadFile(*gridFile)
@@ -213,18 +238,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if !*quiet {
+		if ck != nil {
+			fmt.Fprintf(stderr, "resuming: %d of %d rows restored from %s\n", ck.Completed, len(scens), *resumeDir)
+		}
 		fmt.Fprintf(stderr, "running %d scenarios...\n", len(scens))
+	}
+
+	// Both coordinator modes build the coordinator the same way; only
+	// the transport differs (HTTP listener vs in-process goroutines).
+	dopt := dist.Options{Cache: store, LeaseTTL: *leaseTTL, CheckpointDir: *ckptDir, DisableBlobs: !*serveBlobs}
+	makeCoordinator := func() (*dist.Coordinator, error) {
+		if ck != nil {
+			return dist.Resume(ck, dopt)
+		}
+		return dist.NewCoordinator(g, dopt)
 	}
 
 	var res *sweep.Results
 	switch {
 	case *serveAddr != "":
-		res, err = serveCoordinator(*serveAddr, g, store, *leaseTTL, *quiet, stderr)
+		var c *dist.Coordinator
+		if c, err = makeCoordinator(); err == nil {
+			res, err = serveCoordinator(*serveAddr, c, *quiet, stderr)
+		}
 	case *distSpec != "":
-		var stats dist.Stats
-		res, stats, err = dist.RunLocal(context.Background(), g, distWorkers, dist.Options{Cache: store, LeaseTTL: *leaseTTL})
-		if err == nil && !*quiet {
-			printDistStats(stderr, stats)
+		var c *dist.Coordinator
+		if c, err = makeCoordinator(); err == nil {
+			var stats dist.Stats
+			res, stats, err = dist.RunCoordinator(context.Background(), c, distWorkers)
+			if err == nil && !*quiet {
+				printDistStats(stderr, stats)
+			}
 		}
 	default:
 		res, err = sweep.Run(g, sweep.Options{Workers: *workers, Cache: store})
@@ -270,11 +314,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // HTTP/JSON worker protocol on addr until every scenario has a row,
 // then linger briefly so polling workers observe the done signal
 // before the listener closes, and return the merged results.
-func serveCoordinator(addr string, g sweep.Grid, store *cache.Store, ttl time.Duration, quiet bool, stderr io.Writer) (*sweep.Results, error) {
-	c, err := dist.NewCoordinator(g, dist.Options{Cache: store, LeaseTTL: ttl})
-	if err != nil {
-		return nil, err
-	}
+func serveCoordinator(addr string, c *dist.Coordinator, quiet bool, stderr io.Writer) (*sweep.Results, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -318,10 +358,32 @@ func parseDistSpec(spec string) (int, error) {
 	return n, nil
 }
 
+// firstAxisFlag returns the first explicitly-set axis flag, for the
+// mutual-exclusion checks against grid-defining sources (-grid, the
+// -resume journal).
+func firstAxisFlag(fs *flag.FlagSet) string {
+	axisFlags := map[string]bool{
+		"policies": true, "vms": true, "max-servers": true, "days": true,
+		"history": true, "seeds": true, "static": true, "predictors": true,
+		"transitions": true, "churn": true, "trace": true, "topology": true,
+		"rebalance": true,
+	}
+	conflict := ""
+	fs.Visit(func(f *flag.Flag) {
+		if axisFlags[f.Name] && conflict == "" {
+			conflict = f.Name
+		}
+	})
+	return conflict
+}
+
 // printDistStats reports coordinator traffic next to the summary.
+// New counters append after the original eight fields: the warm-cache
+// CI gate greps this line by prefix.
 func printDistStats(w io.Writer, s dist.Stats) {
-	fmt.Fprintf(w, "dist: %d units (%d cache hits), %d leases to %d workers, %d renewed, %d expired, %d stale, %d duplicate\n",
-		s.Units, s.CacheHits, s.Leases, s.Workers, s.Renewals, s.Expired, s.Stale, s.Duplicates)
+	fmt.Fprintf(w, "dist: %d units (%d cache hits), %d leases to %d workers, %d renewed, %d expired, %d stale, %d duplicate, %d released, %d resumed, %d blobs\n",
+		s.Units, s.CacheHits, s.Leases, s.Workers, s.Renewals, s.Expired, s.Stale, s.Duplicates,
+		s.Released, s.Resumed, s.Blobs)
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.

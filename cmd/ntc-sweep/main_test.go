@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -515,6 +516,75 @@ func TestServeWorkerEndToEndDeterminism(t *testing.T) {
 	}
 }
 
+// TestResumeCLIMidGridRoundTrip is the CLI half of the crash-resume
+// acceptance check: a -dist run journals every completion to
+// -checkpoint-dir; the test amputates the journal to 10 of its 24 rows
+// (exactly the on-disk state a coordinator killed mid-grid leaves
+// behind) and restarts with -resume. The resumed run restores those
+// rows without re-executing them, runs only the missing 14, and emits
+// byte-identical CSV.
+func TestResumeCLIMidGridRoundTrip(t *testing.T) {
+	ckDir := filepath.Join(t.TempDir(), "ck")
+
+	var full, fullErr bytes.Buffer
+	if err := run(sweepArgs("-dist", "local:2", "-checkpoint-dir", ckDir), &full, &fullErr); err != nil {
+		t.Fatalf("checkpointed run: %v\n%s", err, fullErr.String())
+	}
+	if !strings.Contains(fullErr.String(), "0 resumed") {
+		t.Errorf("cold run claims resumed units:\n%s", fullErr.String())
+	}
+
+	journalPath := filepath.Join(ckDir, "journal.json")
+	raw, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal map[string]any
+	if err := json.Unmarshal(raw, &journal); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := journal["rows"].([]any)
+	if !ok || len(rows) != 24 {
+		t.Fatalf("journal holds %d rows, want 24", len(rows))
+	}
+	journal["rows"] = rows[:10]
+	cut, err := json.Marshal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journalPath, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed, resumedErr bytes.Buffer
+	if err := run([]string{"-resume", ckDir, "-dist", "local:2"}, &resumed, &resumedErr); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, resumedErr.String())
+	}
+	if resumed.String() != full.String() {
+		t.Errorf("resumed CSV differs from the uninterrupted run:\n%s\nvs\n%s", resumed.String(), full.String())
+	}
+	stderr := resumedErr.String()
+	if !strings.Contains(stderr, "resuming: 10 of 24 rows restored from "+ckDir) {
+		t.Errorf("missing resume banner:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "10 resumed") {
+		t.Errorf("dist summary missing the resumed count:\n%s", stderr)
+	}
+
+	// The resumed run kept journaling: a second -resume restores all
+	// 24 rows and finishes without leasing a single unit.
+	var again, againErr bytes.Buffer
+	if err := run([]string{"-resume", ckDir, "-dist", "local:2"}, &again, &againErr); err != nil {
+		t.Fatalf("re-resumed run: %v\n%s", err, againErr.String())
+	}
+	if again.String() != full.String() {
+		t.Error("re-resumed CSV differs from the uninterrupted run")
+	}
+	if s := againErr.String(); !strings.Contains(s, "0 leases to 0 workers") || !strings.Contains(s, "24 resumed") {
+		t.Errorf("complete journal still leased work:\n%s", s)
+	}
+}
+
 // TestBadFlagsSurfaceErrors: every unknown axis value must produce a
 // clear error and a non-zero exit (run returning an error), never a
 // panic or an empty table.
@@ -552,6 +622,14 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		{"worker-plus-axis", []string{"-worker", "x:1", "-policies", "EPACT"}, "mutually exclusive"},
 		{"worker-plus-csv", []string{"-worker", "x:1", "-csv", "out.csv"}, "mutually exclusive"},
 		{"dist-plus-workers", []string{"-dist", "local:2", "-workers", "4"}, "in-process pool"},
+		{"resume-without-mode", []string{"-resume", "ck"}, "needs a coordinator mode"},
+		{"checkpoint-dir-without-mode", []string{"-checkpoint-dir", "ck"}, "needs a coordinator mode"},
+		{"serve-blobs-without-mode", []string{"-serve-blobs=false"}, "needs a coordinator mode"},
+		{"worker-plus-resume", []string{"-worker", "x:1", "-resume", "ck"}, "needs a coordinator mode"},
+		{"resume-plus-checkpoint-dir", []string{"-dist", "local:2", "-resume", "a", "-checkpoint-dir", "b"}, "mutually exclusive"},
+		{"resume-plus-grid", []string{"-dist", "local:2", "-resume", "a", "-grid", "g.json"}, "mutually exclusive"},
+		{"resume-plus-axis", []string{"-dist", "local:2", "-resume", "a", "-policies", "EPACT"}, "mutually exclusive"},
+		{"resume-missing-journal", []string{"-dist", "local:2", "-resume", "/does/not/exist"}, "reading checkpoint"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -565,6 +643,20 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 			}
 		})
 	}
+
+	// A corrupt checkpoint journal is a loud startup error, never a
+	// partial resume.
+	t.Run("resume-corrupt-journal", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.json"), []byte(`{"version":"dist-checkpoint-v1","grid":{`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-dist", "local:2", "-resume", dir}, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), "decoding checkpoint") {
+			t.Fatalf("corrupt journal error = %v, want a loud decode failure", err)
+		}
+	})
 
 	// A missing trace file is a scenario-level failure: the table
 	// records it and the exit is non-zero.

@@ -104,6 +104,43 @@ func TestREADMEDocumentsRebalanceFlag(t *testing.T) {
 	}
 }
 
+// TestDocsPinCrashResume pins the crash-recovery documentation: the
+// checkpoint/resume journal, blob input shipping, and worker-churn
+// behaviour are user-facing contracts (flags + wire protocol), and
+// both the README flag table and DISTRIBUTED.md's sections must
+// survive future edits.
+func TestDocsPinCrashResume(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"`-checkpoint-dir DIR`",
+		"`-resume DIR`",
+		"`-serve-blobs`",
+	} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md flag table lost the row %q", want)
+		}
+	}
+	dist, err := os.ReadFile("docs/DISTRIBUTED.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## Checkpoint / resume",
+		"## Input shipping (blobs)",
+		"## Worker churn",
+		"/v1/release",
+		"/v1/blob",
+		"scripts/resume_check.sh",
+	} {
+		if !strings.Contains(string(dist), want) {
+			t.Errorf("docs/DISTRIBUTED.md lost the crash-resume marker %q", want)
+		}
+	}
+}
+
 // TestDocsPinHotLoopDesign pins the hot-loop documentation: the
 // simulator's zero-alloc slot loop is a load-bearing perf contract
 // (TestSlotLoopAllocationFree + the strict zero-alloc bench gate),

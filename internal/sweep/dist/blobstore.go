@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Input shipping: workers without filesystem access to the
+// coordinator's trace/fleet paths fetch the bytes over the Blob call
+// instead. The store is a construction-time snapshot — every
+// file-backed spec in the grid is read once and served from memory —
+// so the bytes workers receive are exactly the bytes the
+// coordinator's own cache keys fingerprinted, and a file deleted or
+// edited mid-sweep cannot split the run across two versions. Workers
+// re-hash fetched bytes against the advertised fingerprint before
+// use (sweep.BlobSource), so a corrupt blob is a loud reject.
+
+// Blob kinds: which input namespace a spec addresses.
+const (
+	BlobTrace    = "trace"
+	BlobTopology = "topology"
+)
+
+// BlobReply carries one shipped input: the raw file bytes and the
+// coordinator's content fingerprint of them (same format as
+// trace.Source.Fingerprint / topology.Spec.Fingerprint).
+type BlobReply struct {
+	Fingerprint string `json:"fingerprint"`
+	Data        []byte `json:"data"`
+}
+
+type blobEntry struct {
+	data []byte
+	fp   string
+}
+
+// blobStore is the coordinator-side snapshot of the grid's
+// file-backed inputs, keyed by spec within each kind. Specs that are
+// not file-backed — or whose file the coordinator itself cannot read
+// — simply have no entry: workers then fall back to local resolution
+// and record the canonical ingestion error.
+type blobStore struct {
+	traces map[string]blobEntry
+	topos  map[string]blobEntry
+}
+
+// newBlobStore snapshots every file-backed input the grid references.
+// Unreadable files are skipped, not errors: a grid pointing at a
+// missing trace produces error rows, and shipping must not turn that
+// into a construction failure.
+func newBlobStore(g sweep.Grid) *blobStore {
+	bs := &blobStore{traces: map[string]blobEntry{}, topos: map[string]blobEntry{}}
+	for _, spec := range g.Traces {
+		src, err := trace.ParseSourceSpec(spec)
+		if err != nil {
+			continue
+		}
+		var path string
+		switch s := src.(type) {
+		case trace.CSVSource:
+			path = s.Path
+		case trace.ClusterSource:
+			path = s.Path
+		default:
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		shipped, err := trace.SourceWithContent(spec, data)
+		if err != nil {
+			continue
+		}
+		fp, err := shipped.Fingerprint()
+		if err != nil {
+			continue
+		}
+		bs.traces[spec] = blobEntry{data: data, fp: fp}
+	}
+	for _, spec := range g.Topologies {
+		s, err := topology.ParseSpec(spec)
+		if err != nil || !s.IsFile {
+			continue
+		}
+		data, err := os.ReadFile(s.Ref)
+		if err != nil {
+			continue
+		}
+		fp, err := s.WithContent(data).Fingerprint()
+		if err != nil {
+			continue
+		}
+		bs.topos[spec] = blobEntry{data: data, fp: fp}
+	}
+	return bs
+}
+
+// Blob implements Backend: it serves one snapshotted input. Unknown
+// kinds and specs without a snapshot are permanent errors — the
+// worker falls back to local resolution instead of retrying.
+func (c *Coordinator) Blob(_ context.Context, kind, spec string) (BlobReply, error) {
+	if c.blobs == nil {
+		return BlobReply{}, permanentError{fmt.Errorf("dist: input shipping is disabled on this coordinator")}
+	}
+	var e blobEntry
+	var ok bool
+	switch kind {
+	case BlobTrace:
+		e, ok = c.blobs.traces[spec]
+	case BlobTopology:
+		e, ok = c.blobs.topos[spec]
+	default:
+		return BlobReply{}, permanentError{fmt.Errorf("dist: unknown blob kind %q (known: %s, %s)", kind, BlobTrace, BlobTopology)}
+	}
+	if !ok {
+		return BlobReply{}, permanentError{fmt.Errorf("dist: no %s blob for spec %q (not file-backed, or unreadable at coordinator start)", kind, spec)}
+	}
+	c.mu.Lock()
+	c.stats.Blobs++
+	c.mu.Unlock()
+	return BlobReply{Fingerprint: e.fp, Data: e.data}, nil
+}
+
+// backendBlobs adapts a Backend into the Runner's sweep.BlobSource:
+// the worker-side fetch path. Transient transport failures are
+// retried with the worker's usual backoff before giving up, because
+// the loader memoizes resolution per spec — a dropped fetch would
+// otherwise pin the local (failing) source for the whole sweep.
+type backendBlobs struct {
+	ctx  context.Context
+	b    Backend
+	poll time.Duration
+}
+
+func (bb backendBlobs) fetch(kind, spec string) ([]byte, string, error) {
+	var rep BlobReply
+	var err error
+	for _, wait := range []time.Duration{0, bb.poll, 10 * bb.poll} {
+		if wait > 0 {
+			select {
+			case <-bb.ctx.Done():
+				return nil, "", bb.ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		rep, err = bb.b.Blob(bb.ctx, kind, spec)
+		if err == nil {
+			return rep.Data, rep.Fingerprint, nil
+		}
+		if isPermanent(err) {
+			break
+		}
+	}
+	return nil, "", err
+}
+
+// TraceBlob implements sweep.BlobSource.
+func (bb backendBlobs) TraceBlob(spec string) ([]byte, string, error) {
+	return bb.fetch(BlobTrace, spec)
+}
+
+// TopologyBlob implements sweep.BlobSource.
+func (bb backendBlobs) TopologyBlob(spec string) ([]byte, string, error) {
+	return bb.fetch(BlobTopology, spec)
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Crash-resume: a coordinator given Options.CheckpointDir journals
+// its full completion state — the defaulted grid, the lease table,
+// and every completed row — to <dir>/journal.json, rewritten through
+// an atomic temp-file rename on every Complete. A coordinator killed
+// mid-grid (SIGKILL included; there is no shutdown hook to miss) is
+// restarted with LoadCheckpoint + Resume: journaled rows are restored
+// as done without re-execution, live leases are restored so in-flight
+// workers can still land their results, and the remaining units lease
+// out as usual. Because rows are a deterministic function of their
+// scenario, the resumed sweep's CSV/JSON is byte-identical to an
+// uninterrupted run.
+
+const (
+	checkpointVersion  = "dist-checkpoint-v1"
+	checkpointFileName = "journal.json"
+)
+
+// checkpointFile is the on-disk journal. Rows hold the engine's own
+// row marshalling (the bytes the result cache would store), so the
+// journal and the cache can never disagree about a row's shape.
+type checkpointFile struct {
+	Version string            `json:"version"`
+	Grid    sweep.Grid        `json:"grid"`
+	LeaseID int64             `json:"lease_id"`
+	Leases  []checkpointLease `json:"leases,omitempty"`
+	Rows    []checkpointRow   `json:"rows"`
+}
+
+type checkpointRow struct {
+	Seq int `json:"seq"`
+
+	// Key is the coordinator's cache key for the unit at journal time
+	// ("" = uncacheable inputs). Resume recomputes keys and refuses a
+	// journal whose inputs changed underneath it — resuming would
+	// silently mix rows from two versions of a trace or fleet file.
+	Key string `json:"key,omitempty"`
+
+	// Row is the completed row's canonical JSON.
+	Row json.RawMessage `json:"row"`
+}
+
+type checkpointLease struct {
+	Seq      int       `json:"seq"`
+	Lease    int64     `json:"lease"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// Checkpoint is a loaded, validated journal: the input to Resume.
+type Checkpoint struct {
+	// Dir is the directory the journal was read from; Resume keeps
+	// journaling there unless Options.CheckpointDir overrides it.
+	Dir string
+
+	// Grid is the defaulted grid of the interrupted sweep.
+	Grid sweep.Grid
+
+	// Completed is how many units the journal holds rows for.
+	Completed int
+
+	rows    []checkpointRow
+	decoded []sweep.RunResult
+	leases  []checkpointLease
+	leaseID int64
+}
+
+// LoadCheckpoint reads and validates <dir>/journal.json. Every
+// corruption — truncation, unknown fields or version, out-of-range or
+// duplicate seqs, rows that do not decode or belong to a different
+// scenario — is a loud error: a journal that cannot be trusted
+// entirely is not resumed partially.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	path := filepath.Join(dir, checkpointFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cf); err != nil {
+		return nil, fmt.Errorf("dist: decoding checkpoint %s: %w", path, err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("dist: checkpoint %s has version %q, this build speaks %q", path, cf.Version, checkpointVersion)
+	}
+	cf.Grid = cf.Grid.WithDefaults()
+	scens, err := sweep.Expand(cf.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint %s: expanding journaled grid: %w", path, err)
+	}
+	if cf.LeaseID < 0 {
+		return nil, fmt.Errorf("dist: checkpoint %s: negative lease id %d", path, cf.LeaseID)
+	}
+	ck := &Checkpoint{
+		Dir:     dir,
+		Grid:    cf.Grid,
+		rows:    cf.Rows,
+		leases:  cf.Leases,
+		leaseID: cf.LeaseID,
+	}
+	seen := make(map[int]bool, len(cf.Rows))
+	for _, row := range cf.Rows {
+		if row.Seq < 0 || row.Seq >= len(scens) {
+			return nil, fmt.Errorf("dist: checkpoint %s: row for unit %d, grid has %d", path, row.Seq, len(scens))
+		}
+		if seen[row.Seq] {
+			return nil, fmt.Errorf("dist: checkpoint %s: duplicate row for unit %d", path, row.Seq)
+		}
+		seen[row.Seq] = true
+		var r sweep.RunResult
+		if err := json.Unmarshal(row.Row, &r); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint %s: unit %d row does not decode: %w", path, row.Seq, err)
+		}
+		if r.Scenario != scens[row.Seq] {
+			return nil, fmt.Errorf("dist: checkpoint %s: unit %d holds a row for scenario %q, grid expands to %q",
+				path, row.Seq, r.Scenario.ID(), scens[row.Seq].ID())
+		}
+		ck.decoded = append(ck.decoded, r)
+	}
+	ck.Completed = len(cf.Rows)
+	for _, ls := range cf.Leases {
+		if ls.Seq < 0 || ls.Seq >= len(scens) {
+			return nil, fmt.Errorf("dist: checkpoint %s: lease for unit %d, grid has %d", path, ls.Seq, len(scens))
+		}
+		if seen[ls.Seq] {
+			return nil, fmt.Errorf("dist: checkpoint %s: unit %d is both completed and leased", path, ls.Seq)
+		}
+		if ls.Lease <= 0 || ls.Lease > cf.LeaseID {
+			return nil, fmt.Errorf("dist: checkpoint %s: unit %d holds lease %d outside the issued range [1, %d]",
+				path, ls.Seq, ls.Lease, cf.LeaseID)
+		}
+	}
+	return ck, nil
+}
+
+// Resume reconstructs a coordinator from a loaded checkpoint:
+// journaled rows are done (Stats.Resumed), journaled leases stay
+// live until their deadline, and everything else leases out as
+// usual. The resumed coordinator keeps journaling to the
+// checkpoint's directory.
+func Resume(ck *Checkpoint, opt Options) (*Coordinator, error) {
+	if opt.CheckpointDir == "" {
+		opt.CheckpointDir = ck.Dir
+	}
+	return newCoordinator(ck.Grid, opt, ck)
+}
+
+// checkpointLocked rewrites the journal from the unit table. Callers
+// hold c.mu. Write failures latch into c.ckptErr (surfaced by Wait):
+// checkpointing was asked for, so losing it is loud, but an I/O
+// hiccup must not abort a sweep that is otherwise completing fine.
+func (c *Coordinator) checkpointLocked() {
+	if c.opt.CheckpointDir == "" {
+		return
+	}
+	cf := checkpointFile{Version: checkpointVersion, Grid: c.grid, LeaseID: c.leaseID}
+	for i := range c.units {
+		u := &c.units[i]
+		switch u.state {
+		case unitDone:
+			row := u.rowJSON
+			if row == nil {
+				data, err := json.Marshal(u.row)
+				if err != nil {
+					c.setCkptErr(fmt.Errorf("dist: checkpointing unit %d: %w", i, err))
+					return
+				}
+				u.rowJSON = data
+				row = data
+			}
+			cf.Rows = append(cf.Rows, checkpointRow{Seq: i, Key: u.key, Row: row})
+		case unitLeased:
+			cf.Leases = append(cf.Leases, checkpointLease{Seq: i, Lease: u.lease, Deadline: u.deadline})
+		}
+	}
+	data, err := json.Marshal(cf)
+	if err == nil {
+		err = writeFileAtomic(filepath.Join(c.opt.CheckpointDir, checkpointFileName), data)
+	}
+	if err != nil {
+		c.setCkptErr(fmt.Errorf("dist: checkpointing: %w", err))
+	}
+}
+
+func (c *Coordinator) setCkptErr(err error) {
+	if c.ckptErr == nil {
+		c.ckptErr = err
+	}
+}
+
+// writeFileAtomic writes data through a same-directory temp file and
+// rename, so a reader (or a crash) never observes a torn journal.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// execAll runs every unit of a lease reply through a fresh runner —
+// the test stand-in for a worker's batch loop when a test needs to
+// hold the Complete call itself.
+func execAll(t *testing.T, g sweep.Grid, units []Unit) []UnitResult {
+	t.Helper()
+	rn, err := sweep.NewRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]UnitResult, 0, len(units))
+	for _, u := range units {
+		key, _ := rn.CacheKey(u.Scenario)
+		out = append(out, UnitResult{Seq: u.Seq, Lease: u.Lease, Row: rn.Exec(u.Scenario), Key: key})
+	}
+	return out
+}
+
+// TestCheckpointJournalResumesMidGrid drives the journal through the
+// exact crash window: completed rows and still-live leases at the
+// moment of death. The resumed coordinator restores both — the
+// in-flight worker lands its batch under its original leases, the
+// rest lease out fresh, and the output is byte-identical.
+func TestCheckpointJournalResumesMidGrid(t *testing.T) {
+	want, err := sweep.Run(testGrid(), sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	a, err := NewCoordinator(testGrid(), Options{CheckpointDir: dir, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1, err := a.Lease(ctx, "doomed", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := a.Lease(ctx, "survivor", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first batch lands and journals; the second is still in
+	// flight when the coordinator "dies" (goes out of scope).
+	if err := a.Complete(ctx, "doomed", execAll(t, testGrid(), batch1.Units), sweep.LoadStats{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Completed != 3 {
+		t.Fatalf("ck.Completed = %d, want 3", ck.Completed)
+	}
+	b, err := Resume(ck, Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().Resumed; got != 3 {
+		t.Fatalf("Stats.Resumed = %d, want 3", got)
+	}
+
+	// The surviving worker outlived the coordinator: its original
+	// leases were journaled, so its Complete lands as current — not
+	// stale, not expired.
+	if err := b.Complete(ctx, "survivor", execAll(t, testGrid(), batch2.Units), sweep.LoadStats{}); err != nil {
+		t.Fatalf("in-flight batch rejected after resume: %v", err)
+	}
+	if s := b.Stats(); s.Stale != 0 {
+		t.Errorf("stats.Stale = %d, want 0 — journaled leases must stay valid across the restart", s.Stale)
+	}
+
+	if _, err := Work(ctx, b, WorkerOptions{Name: "replacement", Poll: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV() != want.CSV() {
+		t.Errorf("resumed CSV differs from engine:\n%s\nvs\n%s", res.CSV(), want.CSV())
+	}
+	if s := b.Stats(); s.Leases != 3 || s.Expired != 0 {
+		t.Errorf("resume stats = %+v, want 3 fresh leases (the non-journaled units) and no expiries", s)
+	}
+}
+
+// TestResumeOfCompleteJournalIsInstantlyDone: a journal covering the
+// whole grid resumes into a coordinator that needs no workers at all
+// and emits byte-identical output — zero re-executed warm units.
+func TestResumeOfCompleteJournalIsInstantlyDone(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cold, _, err := RunLocal(ctx, testGrid(), 2, Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Completed != 8 {
+		t.Fatalf("ck.Completed = %d, want 8", ck.Completed)
+	}
+	c, err := Resume(ck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweepDone(c) {
+		t.Fatal("complete journal resumed into a coordinator that still wants workers")
+	}
+	res, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV() != cold.CSV() {
+		t.Error("resumed CSV differs from the original run")
+	}
+	if s := c.Stats(); s.Resumed != 8 || s.Leases != 0 || s.Workers != 0 {
+		t.Errorf("stats = %+v, want 8 resumed, nothing leased, no workers", s)
+	}
+}
+
+// TestCheckpointRejectsCorruption: every way a journal can lie —
+// truncation, version skew, out-of-range or duplicate units, rows for
+// the wrong scenario, impossible leases — is a loud LoadCheckpoint
+// error. A journal that cannot be trusted entirely is never resumed
+// partially.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	// One real journal (a completed run) as the mutation base.
+	base := t.TempDir()
+	if _, _, err := RunLocal(context.Background(), testGrid(), 2, Options{CheckpointDir: base}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(base, checkpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(t *testing.T) checkpointFile {
+		var cf checkpointFile
+		if err := json.Unmarshal(raw, &cf); err != nil {
+			t.Fatal(err)
+		}
+		return cf
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T) []byte
+		wantErr string
+	}{
+		{"truncated", func(t *testing.T) []byte { return raw[:len(raw)/2] }, "decoding checkpoint"},
+		{"wrong version", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Version = "dist-checkpoint-v0"
+			return mustMarshal(t, cf)
+		}, "version"},
+		{"unknown field", func(t *testing.T) []byte {
+			return append([]byte(`{"bogus":1,`), raw[1:]...)
+		}, "unknown field"},
+		{"row seq out of range", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Rows[0].Seq = 99
+			return mustMarshal(t, cf)
+		}, "grid has"},
+		{"duplicate row", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Rows = append(cf.Rows, cf.Rows[0])
+			return mustMarshal(t, cf)
+		}, "duplicate row"},
+		{"row does not decode", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Rows[0].Row = json.RawMessage(`{"scenario":42}`)
+			return mustMarshal(t, cf)
+		}, "does not decode"},
+		{"row for wrong scenario", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Rows[0].Row, cf.Rows[1].Row = cf.Rows[1].Row, cf.Rows[0].Row
+			cf.Rows[0].Key, cf.Rows[1].Key = cf.Rows[1].Key, cf.Rows[0].Key
+			return mustMarshal(t, cf)
+		}, "grid expands to"},
+		{"negative lease id", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.LeaseID = -1
+			return mustMarshal(t, cf)
+		}, "negative lease id"},
+		{"unit both done and leased", func(t *testing.T) []byte {
+			cf := decode(t)
+			cf.Leases = append(cf.Leases, checkpointLease{Seq: cf.Rows[0].Seq, Lease: 1})
+			return mustMarshal(t, cf)
+		}, "both completed and leased"},
+		{"lease outside issued range", func(t *testing.T) []byte {
+			cf := decode(t)
+			freed := cf.Rows[len(cf.Rows)-1].Seq
+			cf.Rows = cf.Rows[:len(cf.Rows)-1]
+			cf.Leases = append(cf.Leases, checkpointLease{Seq: freed, Lease: cf.LeaseID + 50})
+			return mustMarshal(t, cf)
+		}, "outside the issued range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, checkpointFileName), tc.mutate(t), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCheckpoint(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("LoadCheckpoint error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("missing journal", func(t *testing.T) {
+		if _, err := LoadCheckpoint(t.TempDir()); err == nil || !strings.Contains(err.Error(), "reading checkpoint") {
+			t.Fatalf("LoadCheckpoint on an empty dir = %v, want a loud read error", err)
+		}
+	})
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestResumeRefusesChangedInputs pins the key guard: a journal written
+// against one version of a trace file cannot resume after the file
+// changed — the run would silently mix rows from two input versions.
+func TestResumeRefusesChangedInputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "week.csv")
+	writeTrace := func(seed int64) {
+		t.Helper()
+		cfg := trace.DefaultConfig(seed)
+		cfg.VMs = 24
+		cfg.Days = 2
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTrace(1)
+
+	g := testGrid()
+	g.Traces = []string{"csv:" + tracePath}
+	ckdir := filepath.Join(dir, "ck")
+	if _, _, err := RunLocal(context.Background(), g, 2, Options{CheckpointDir: ckdir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same path, different bytes: the journal itself is internally
+	// consistent (LoadCheckpoint passes), but resuming against the new
+	// content is refused.
+	writeTrace(2)
+	ck, err := LoadCheckpoint(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(ck, Options{}); err == nil || !strings.Contains(err.Error(), "inputs changed") {
+		t.Fatalf("Resume against edited inputs = %v, want a loud refusal", err)
+	}
+
+	// Restoring the original bytes makes the same journal resumable.
+	writeTrace(1)
+	c, err := Resume(ck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweepDone(c) {
+		t.Error("restored-input resume of a complete journal is not done")
+	}
+}
+
+// TestCheckpointDirFailureIsLoud: a checkpoint directory that cannot
+// be created (here: the path is a file) fails at construction, not as
+// a mid-sweep surprise.
+func TestCheckpointDirFailureIsLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(testGrid(), Options{CheckpointDir: path}); err == nil {
+		t.Fatal("coordinator accepted an unusable checkpoint dir")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -85,9 +86,9 @@ type UnitRef struct {
 	Lease int64 `json:"lease"`
 }
 
-// Backend is the worker-side view of a coordinator: the four calls
-// of the protocol. The Coordinator implements it directly (the
-// in-process transport); Client implements it over HTTP/JSON.
+// Backend is the worker-side view of a coordinator: the calls of the
+// protocol. The Coordinator implements it directly (the in-process
+// transport); Client implements it over HTTP/JSON.
 type Backend interface {
 	// Grid returns the defaulted grid the sweep executes, so workers
 	// build an identical Runner (custom transition models included).
@@ -104,6 +105,16 @@ type Backend interface {
 	// Complete returns executed rows plus the worker's input-loading
 	// stats for the batch (merged into the sweep summary).
 	Complete(ctx context.Context, worker string, results []UnitResult, load sweep.LoadStats) error
+
+	// Release hands unexecuted leases back (a draining worker leaving
+	// mid-batch), so they re-lease immediately instead of after TTL
+	// expiry. Best-effort like Renew: stale refs are skipped.
+	Release(ctx context.Context, worker string, refs []UnitRef) error
+
+	// Blob ships one file-backed input (kind BlobTrace or
+	// BlobTopology) to a worker that cannot read the spec's path
+	// itself; see blobstore.go.
+	Blob(ctx context.Context, kind, spec string) (BlobReply, error)
 }
 
 // Options tunes a coordinator.
@@ -123,6 +134,18 @@ type Options struct {
 	// Progress, when set, is called (serialised) after each completed
 	// unit, including the cache hits claimed at construction.
 	Progress func(done, total int)
+
+	// CheckpointDir, when non-empty, journals the coordinator's state
+	// there on every Complete (atomic rename), so a killed coordinator
+	// resumes mid-grid via LoadCheckpoint/Resume with zero re-executed
+	// warm units. See checkpoint.go.
+	CheckpointDir string
+
+	// DisableBlobs skips the input-shipping snapshot: workers must
+	// then read every file-backed input from their own filesystem.
+	// Useful when the grid references huge trace files on a shared
+	// mount that should not be duplicated into coordinator memory.
+	DisableBlobs bool
 }
 
 // Stats describes one distributed sweep's traffic.
@@ -154,6 +177,19 @@ type Stats struct {
 	// executing slower than the TTL.
 	Renewals int64 `json:"renewals"`
 
+	// Released counts leases handed back by draining workers (the
+	// graceful half of worker churn; Expired is the crashed half).
+	Released int64 `json:"released"`
+
+	// Resumed counts units restored as done from a checkpoint journal
+	// at construction — completed work the resumed sweep never
+	// re-leases or re-executes.
+	Resumed int `json:"resumed"`
+
+	// Blobs counts input blobs shipped to workers without filesystem
+	// access to the grid's trace/fleet paths.
+	Blobs int64 `json:"blobs"`
+
 	// Workers is how many distinct worker names checked in.
 	Workers int `json:"workers"`
 }
@@ -171,6 +207,7 @@ type unit struct {
 	deadline time.Time
 	key      string // result-store key; "" = uncacheable
 	row      sweep.RunResult
+	rowJSON  json.RawMessage // row's canonical marshalling, for the journal
 }
 
 // Coordinator owns one distributed sweep: the unit table, the lease
@@ -180,6 +217,7 @@ type Coordinator struct {
 	grid  sweep.Grid
 	opt   Options
 	start time.Time
+	blobs *blobStore // input-shipping snapshot; nil when disabled
 
 	mu       sync.Mutex
 	units    []unit
@@ -189,6 +227,7 @@ type Coordinator struct {
 	stats    Stats
 	load     sweep.LoadStats
 	cacheErr error
+	ckptErr  error
 	closed   bool
 	done     chan struct{}
 }
@@ -197,7 +236,13 @@ type Coordinator struct {
 // can already answer, and queues the rest for leasing. A fully warm
 // coordinator is complete before any worker connects.
 func NewCoordinator(g sweep.Grid, opt Options) (*Coordinator, error) {
-	g = g.WithDefaults()
+	return newCoordinator(g.WithDefaults(), opt, nil)
+}
+
+// newCoordinator builds a coordinator for an already-defaulted grid,
+// optionally restoring completed rows and live leases from a loaded
+// checkpoint (see Resume).
+func newCoordinator(g sweep.Grid, opt Options, ck *Checkpoint) (*Coordinator, error) {
 	scens, err := sweep.Expand(g)
 	if err != nil {
 		return nil, err
@@ -223,6 +268,13 @@ func NewCoordinator(g sweep.Grid, opt Options) (*Coordinator, error) {
 		workers: map[string]bool{},
 		done:    make(chan struct{}),
 	}
+	if !opt.DisableBlobs {
+		// Snapshot file-backed inputs now: workers without filesystem
+		// access fetch these exact bytes, and the fingerprints below
+		// hash this same content, so one sweep can never straddle two
+		// versions of a file.
+		c.blobs = newBlobStore(g)
+	}
 	c.stats.Units = len(scens)
 	for i, s := range scens {
 		u := &c.units[i]
@@ -232,21 +284,69 @@ func NewCoordinator(g sweep.Grid, opt Options) (*Coordinator, error) {
 		// Complete (fingerprints are memoized across scenarios).
 		if k, ok := rn.CacheKey(s); ok {
 			u.key = k
-			if opt.Cache != nil {
-				if row, hit := opt.Cache.Get(k); hit {
-					if r, ok := sweep.DecodeCachedRow(row, s); ok {
-						u.row = r
-						u.state = unitDone
-						c.stats.CacheHits++
-						continue
-					}
+		}
+	}
+	if ck != nil {
+		// Journaled rows were accepted by the killed coordinator; they
+		// are done, never re-leased. The key guard refuses a journal
+		// whose file-backed inputs changed since it was written —
+		// resuming would mix rows from two input versions.
+		for i, row := range ck.rows {
+			u := &c.units[row.Seq]
+			if row.Key != "" && u.key != row.Key {
+				return nil, fmt.Errorf("dist: resuming unit %d (%s): inputs changed since the checkpoint was written (journal key %q, current %q) — the journal cannot be resumed against different trace/fleet content",
+					row.Seq, u.scenario.ID(), row.Key, u.key)
+			}
+			u.row = ck.decoded[i]
+			u.rowJSON = row.Row
+			u.state = unitDone
+			c.stats.Resumed++
+		}
+		// Live leases survive the restart so a worker that outlived
+		// the coordinator can still land (or renew) its batch; a dead
+		// worker's leases expire on their original deadlines.
+		for _, ls := range ck.leases {
+			u := &c.units[ls.Seq]
+			u.state = unitLeased
+			u.lease = ls.Lease
+			u.deadline = ls.Deadline
+		}
+		c.leaseID = ck.leaseID
+	}
+	for i := range c.units {
+		u := &c.units[i]
+		if u.state == unitDone {
+			continue
+		}
+		if u.key != "" && opt.Cache != nil {
+			if row, hit := opt.Cache.Get(u.key); hit {
+				if r, ok := sweep.DecodeCachedRow(row, u.scenario); ok {
+					u.row = r
+					u.rowJSON = row
+					u.state = unitDone
+					c.stats.CacheHits++
+					continue
 				}
 			}
 		}
 		c.pending++
 	}
-	if opt.Progress != nil && c.stats.CacheHits > 0 {
-		opt.Progress(c.stats.CacheHits, len(c.units))
+	restored := len(c.units) - c.pending
+	if opt.Progress != nil && restored > 0 {
+		opt.Progress(restored, len(c.units))
+	}
+	if opt.CheckpointDir != "" {
+		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint dir: %w", err)
+		}
+		// The initial journal write makes misconfiguration (read-only
+		// dir, full disk) a construction error instead of a mid-sweep
+		// surprise, and records grids that complete without a single
+		// Complete call (fully warm or resumed-complete runs).
+		c.checkpointLocked()
+		if c.ckptErr != nil {
+			return nil, c.ckptErr
+		}
 	}
 	if c.pending == 0 {
 		c.closed = true
@@ -322,6 +422,27 @@ func (c *Coordinator) Renew(_ context.Context, worker string, refs []UnitRef) er
 	return nil
 }
 
+// Release implements Backend: a draining worker hands its unexecuted
+// leases back so they re-lease immediately instead of idling out the
+// TTL. Refs the worker no longer validly holds are skipped — by the
+// time a drain lands, the unit may have expired and gone elsewhere.
+func (c *Coordinator) Release(_ context.Context, worker string, refs []UnitRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range refs {
+		if r.Seq < 0 || r.Seq >= len(c.units) {
+			continue
+		}
+		u := &c.units[r.Seq]
+		if u.state == unitLeased && u.lease == r.Lease {
+			u.state = unitPending
+			u.lease = 0
+			c.stats.Released++
+		}
+	}
+	return nil
+}
+
 // Complete implements Backend: it merges returned rows by expansion
 // index and writes them through to the result store. Results for
 // already-completed units are ignored (duplicates from lease retries);
@@ -343,6 +464,10 @@ func (c *Coordinator) Complete(_ context.Context, worker string, results []UnitR
 			c.load.TraceBuilds += load.TraceBuilds
 			c.load.PredictRequests += load.PredictRequests
 			c.load.PredictBuilds += load.PredictBuilds
+			// The journal is rewritten on every Complete that landed a
+			// row — including batches that then hit an invalid result —
+			// so a kill at any instant loses at most the in-flight call.
+			c.checkpointLocked()
 		}
 		if c.pending == 0 && !c.closed {
 			c.closed = true
@@ -390,6 +515,7 @@ func (c *Coordinator) Complete(_ context.Context, worker string, results []UnitR
 		}
 		u.row = r.Row
 		u.row.Cached = false
+		u.rowJSON = nil
 		u.state = unitDone
 		c.pending--
 		fresh++
@@ -399,6 +525,7 @@ func (c *Coordinator) Complete(_ context.Context, worker string, results []UnitR
 			// distributed runs share one store.
 			data, err := json.Marshal(u.row)
 			if err == nil {
+				u.rowJSON = data // the journal reuses the same bytes
 				err = c.opt.Cache.Put(u.key, data)
 			}
 			if err != nil && c.cacheErr == nil {
@@ -430,6 +557,12 @@ func (c *Coordinator) Wait(ctx context.Context) (*sweep.Results, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ckptErr != nil {
+		// Checkpointing was asked for; a journal that silently stopped
+		// updating would betray the next -resume, so the failure is
+		// loud even though the rows themselves are fine.
+		return nil, c.ckptErr
+	}
 	runs := make([]sweep.RunResult, len(c.units))
 	for i := range c.units {
 		runs[i] = c.units[i].row

@@ -14,12 +14,14 @@ import (
 	"repro/internal/sweep"
 )
 
-// The HTTP transport maps the four Backend calls onto a JSON API:
+// The HTTP transport maps the Backend calls onto a JSON API:
 //
 //	GET  /v1/grid      -> sweep.Grid
 //	POST /v1/lease     {"worker": "...", "max": 4} -> LeaseReply
 //	POST /v1/renew     {"worker": "...", "units": [{"seq", "lease"}]} -> {}
 //	POST /v1/complete  {"worker": "...", "results": [...], "load": {...}} -> {}
+//	POST /v1/release   {"worker": "...", "units": [{"seq", "lease"}]} -> {}
+//	POST /v1/blob      {"kind": "trace"|"topology", "spec": "..."} -> {"fingerprint", "data"}
 //
 // The protocol is deliberately dumb — stateless requests, leases as
 // opaque integers, rows as the engine's own JSON — so a worker can be
@@ -40,6 +42,11 @@ type completeRequest struct {
 type renewRequest struct {
 	Worker string    `json:"worker"`
 	Units  []UnitRef `json:"units"`
+}
+
+type blobRequest struct {
+	Kind string `json:"kind"`
+	Spec string `json:"spec"`
 }
 
 // NewHandler exposes a coordinator over the HTTP/JSON protocol.
@@ -85,6 +92,32 @@ func NewHandler(c *Coordinator) http.Handler {
 			return
 		}
 		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("POST /v1/release", func(w http.ResponseWriter, r *http.Request) {
+		var req renewRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Release(r.Context(), req.Worker, req.Units); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("POST /v1/blob", func(w http.ResponseWriter, r *http.Request) {
+		var req blobRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		// A spec with no snapshot is 404: permanent on the client, so
+		// the worker falls back to its own filesystem instead of
+		// retrying a blob that will never exist.
+		rep, err := c.Blob(r.Context(), req.Kind, req.Spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rep)
 	})
 	return mux
 }
@@ -150,6 +183,19 @@ func (c *Client) Complete(ctx context.Context, worker string, results []UnitResu
 	var out struct{}
 	return c.call(ctx, http.MethodPost, "/v1/complete",
 		completeRequest{Worker: worker, Results: results, Load: load}, &out)
+}
+
+// Release implements Backend.
+func (c *Client) Release(ctx context.Context, worker string, refs []UnitRef) error {
+	var out struct{}
+	return c.call(ctx, http.MethodPost, "/v1/release", renewRequest{Worker: worker, Units: refs}, &out)
+}
+
+// Blob implements Backend.
+func (c *Client) Blob(ctx context.Context, kind, spec string) (BlobReply, error) {
+	var rep BlobReply
+	err := c.call(ctx, http.MethodPost, "/v1/blob", blobRequest{Kind: kind, Spec: spec}, &rep)
+	return rep, err
 }
 
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {

@@ -25,17 +25,14 @@ func TestHTTPEndToEndDeterminism(t *testing.T) {
 	defer srv.Close()
 	ctx := context.Background()
 
-	// The crasher leases two units over the wire and disappears.
-	crasher := NewClient(srv.URL)
-	if _, err := crasher.Grid(ctx); err != nil {
-		t.Fatal(err)
-	}
-	reply, err := crasher.Lease(ctx, "crasher", 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(reply.Units) != 2 {
-		t.Fatalf("crasher leased %d units, want 2", len(reply.Units))
+	// The crasher's transport is guillotined right after its first
+	// lease lands (faultTransport): it holds two units it can never
+	// complete — a worker kill -9'd mid-batch — and they recover via
+	// the short TTL.
+	crasher := newFaultTransport(NewClient(srv.URL), 3).quiet()
+	crasher.killAfterLeases = 1
+	if _, err := Work(ctx, crasher, WorkerOptions{Name: "crasher", Batch: 2, Poll: time.Millisecond}); err == nil {
+		t.Fatal("kill -9'd worker reported success")
 	}
 
 	var wg sync.WaitGroup

@@ -25,6 +25,11 @@ type WorkerOptions struct {
 	// Poll is how long to sleep when everything is leased elsewhere;
 	// <= 0 means 25 ms.
 	Poll time.Duration
+
+	// execHook substitutes the per-unit execution in tests (slow stub
+	// runners for renewal coverage, controlled failures). nil means
+	// Runner.Exec.
+	execHook func(rn *sweep.Runner, s sweep.Scenario) sweep.RunResult
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -49,6 +54,12 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 // reports the sweep done. It returns how many units this worker
 // executed. Scenario failures are rows, not errors; Work fails only
 // on transport or grid problems.
+//
+// Workers join and leave freely: there is no registration beyond the
+// first lease, a canceled ctx drains gracefully (executed rows are
+// completed, unexecuted leases released for immediate re-lease), and
+// a vanished worker's leases expire on the TTL and re-lease to
+// whoever asks next.
 func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
 	opt = opt.withDefaults()
 	g, err := b.Grid(ctx)
@@ -58,6 +69,14 @@ func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
 	rn, err := sweep.NewRunner(g)
 	if err != nil {
 		return 0, fmt.Errorf("dist: %w", err)
+	}
+	// File-backed inputs this process cannot read are fetched from the
+	// coordinator by spec and verified against its fingerprints — the
+	// no-shared-filesystem deployment path (see blobstore.go).
+	rn.SetBlobSource(backendBlobs{ctx: ctx, b: b, poll: opt.Poll})
+	exec := rn.Exec
+	if opt.execHook != nil {
+		exec = func(s sweep.Scenario) sweep.RunResult { return opt.execHook(rn, s) }
 	}
 
 	// Transient transport failures (a coordinator restarting, a
@@ -152,13 +171,18 @@ func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
 		}
 
 		before := rn.LoadStats()
-		results := make([]UnitResult, len(reply.Units))
-		for i, u := range reply.Units {
+		results := make([]UnitResult, 0, len(reply.Units))
+		drained := false
+		for _, u := range reply.Units {
+			if ctx.Err() != nil {
+				drained = true
+				break
+			}
 			// The worker's own cache key rides along so the
 			// coordinator can detect divergent file-backed inputs
 			// before accepting (and caching) the row.
 			key, _ := rn.CacheKey(u.Scenario)
-			results[i] = UnitResult{Seq: u.Seq, Lease: u.Lease, Row: rn.Exec(u.Scenario), Key: key}
+			results = append(results, UnitResult{Seq: u.Seq, Lease: u.Lease, Row: exec(u.Scenario), Key: key})
 		}
 		close(stopRenew)
 		renewWG.Wait()
@@ -168,6 +192,28 @@ func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
 			TraceBuilds:     after.TraceBuilds - before.TraceBuilds,
 			PredictRequests: after.PredictRequests - before.PredictRequests,
 			PredictBuilds:   after.PredictBuilds - before.PredictBuilds,
+		}
+		if drained {
+			// Graceful leave: land the rows already executed and hand
+			// the unexecuted leases back for immediate re-lease, on a
+			// detached context (the canceled one would abort the very
+			// calls that make the departure clean). Best-effort single
+			// attempts — if the coordinator is gone too, the leases
+			// just expire the crashed-worker way.
+			dctx := context.WithoutCancel(ctx)
+			if len(results) > 0 {
+				if err := b.Complete(dctx, opt.Name, results, delta); err == nil {
+					executed += len(results)
+				}
+			}
+			refs := make([]UnitRef, 0, len(reply.Units)-len(results))
+			for _, u := range reply.Units[len(results):] {
+				refs = append(refs, UnitRef{Seq: u.Seq, Lease: u.Lease})
+			}
+			if len(refs) > 0 {
+				_ = b.Release(dctx, opt.Name, refs)
+			}
+			return executed, ctx.Err()
 		}
 		if err := withRetry(func() error {
 			return b.Complete(ctx, opt.Name, results, delta)
@@ -185,12 +231,19 @@ func Work(ctx context.Context, b Backend, opt WorkerOptions) (int, error) {
 // minus the network, and returns the merged results and traffic
 // stats. n <= 0 means GOMAXPROCS.
 func RunLocal(ctx context.Context, g sweep.Grid, n int, opt Options) (*sweep.Results, Stats, error) {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
 	c, err := NewCoordinator(g, opt)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	return RunCoordinator(ctx, c, n)
+}
+
+// RunCoordinator drives an existing coordinator — fresh or resumed
+// from a checkpoint — with n in-process worker goroutines. n <= 0
+// means GOMAXPROCS.
+func RunCoordinator(ctx context.Context, c *Coordinator, n int) (*sweep.Results, Stats, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
 	var (
 		wg       sync.WaitGroup

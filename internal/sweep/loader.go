@@ -66,6 +66,19 @@ type tracePair struct {
 	affected int
 }
 
+// BlobSource ships input bytes to processes that cannot read the
+// files a grid references: given a trace or topology spec, it returns
+// the file's content plus the serving side's fingerprint of those
+// bytes (the same format Source.Fingerprint/Spec.Fingerprint emit).
+// The loader consults it only when a file-backed spec cannot be
+// fingerprinted locally, and verifies the fetched bytes hash to the
+// advertised fingerprint before trusting them — a corrupt blob is a
+// loud error, never a silently-poisoned cache entry.
+type BlobSource interface {
+	TraceBlob(spec string) (data []byte, fingerprint string, err error)
+	TopologyBlob(spec string) (data []byte, fingerprint string, err error)
+}
+
 // loader memoizes the expensive inputs of a run. One loader is
 // shared by all workers of a sweep, so a 24-scenario grid over one
 // trace ingests that trace once and fits ARIMA once; source
@@ -73,12 +86,20 @@ type tracePair struct {
 // files parsed and validated once per spec) and their fingerprints
 // are likewise computed once.
 type loader struct {
-	traces  memo[traceKey, tracePair]
-	preds   memo[predKey, *dcsim.PredictionSet]
-	fps     memo[string, string]
-	fleets  memo[string, topology.Fleet]
-	topoFPs memo[string, string]
-	rebs    memo[string, topology.RebalanceSpec]
+	// blobs, when non-nil, is the remote fallback for file-backed
+	// inputs missing on this machine. Set before first use (see
+	// Runner.SetBlobSource); the srcs/topoSpecs memos pin whichever
+	// resolution each spec got.
+	blobs BlobSource
+
+	srcs      memo[string, trace.Source]
+	topoSpecs memo[string, topology.Spec]
+	traces    memo[traceKey, tracePair]
+	preds     memo[predKey, *dcsim.PredictionSet]
+	fps       memo[string, string]
+	fleets    memo[string, topology.Fleet]
+	topoFPs   memo[string, string]
+	rebs      memo[string, topology.RebalanceSpec]
 }
 
 // LoadStats reports the loader's sharing: how many distinct inputs
@@ -128,11 +149,73 @@ func traceUsesSeed(spec string) bool {
 	return synthetic
 }
 
+// source resolves a trace spec once per sweep: the local source when
+// its content is readable here, otherwise (with a BlobSource wired)
+// the shipped bytes, verified against the server's fingerprint. When
+// neither works the local source is returned anyway, so the scenario
+// fails with the canonical local ingestion error — identical to what
+// a blob-less run would record.
+func (l *loader) source(spec string) (trace.Source, error) {
+	return l.srcs.get(spec, func() (trace.Source, error) {
+		src, err := sourceFor(spec)
+		if err != nil || l.blobs == nil {
+			return src, err
+		}
+		if _, ferr := src.Fingerprint(); ferr == nil {
+			return src, nil // readable locally; no shipping needed
+		}
+		data, fp, berr := l.blobs.TraceBlob(spec)
+		if berr != nil {
+			return src, nil // no blob either; fail the canonical local way
+		}
+		bsrc, err := trace.SourceWithContent(spec, data)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		got, err := bsrc.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: fingerprinting shipped trace %s: %w", spec, err)
+		}
+		if got != fp {
+			return nil, fmt.Errorf("sweep: shipped trace %s is corrupt: content hashes to %q, server advertised %q", spec, got, fp)
+		}
+		return bsrc, nil
+	})
+}
+
+// topoSpec resolves a topology spec the same way source resolves a
+// trace spec: local file first, verified shipped bytes second, the
+// plain (failing) local spec last.
+func (l *loader) topoSpec(spec string) (topology.Spec, error) {
+	return l.topoSpecs.get(spec, func() (topology.Spec, error) {
+		s, err := topology.ParseSpec(spec)
+		if err != nil || l.blobs == nil || !s.IsFile {
+			return s, err
+		}
+		if _, ferr := s.Fingerprint(); ferr == nil {
+			return s, nil
+		}
+		data, fp, berr := l.blobs.TopologyBlob(spec)
+		if berr != nil {
+			return s, nil
+		}
+		bs := s.WithContent(data)
+		got, err := bs.Fingerprint()
+		if err != nil {
+			return topology.Spec{}, fmt.Errorf("topology: fingerprinting shipped fleet %s: %w", spec, err)
+		}
+		if got != fp {
+			return topology.Spec{}, fmt.Errorf("topology: shipped fleet %s is corrupt: content hashes to %q, server advertised %q", spec, got, fp)
+		}
+		return bs, nil
+	})
+}
+
 // fingerprint returns the memoized content fingerprint of a backend
 // spec — the cache-key ingredient that detects edited trace files.
 func (l *loader) fingerprint(spec string) (string, error) {
 	return l.fps.get(spec, func() (string, error) {
-		src, err := sourceFor(spec)
+		src, err := l.source(spec)
 		if err != nil {
 			return "", err
 		}
@@ -147,7 +230,7 @@ func (l *loader) fingerprint(spec string) (string, error) {
 // 0) — scenarios resolve it against their own MaxServers.
 func (l *loader) fleet(spec string) (topology.Fleet, error) {
 	return l.fleets.get(spec, func() (topology.Fleet, error) {
-		s, err := topology.ParseSpec(spec)
+		s, err := l.topoSpec(spec)
 		if err != nil {
 			return topology.Fleet{}, fmt.Errorf("sweep: %w", err)
 		}
@@ -177,7 +260,7 @@ func (l *loader) rebalance(spec string) (topology.RebalanceSpec, error) {
 // files so cached results invalidate.
 func (l *loader) topologyFingerprint(spec string) (string, error) {
 	return l.topoFPs.get(spec, func() (string, error) {
-		s, err := topology.ParseSpec(spec)
+		s, err := l.topoSpec(spec)
 		if err != nil {
 			return "", err
 		}
@@ -191,7 +274,7 @@ func (l *loader) topologyFingerprint(spec string) (string, error) {
 // scenario alone.
 func (l *loader) trace(k traceKey) (tracePair, error) {
 	return l.traces.get(k, func() (tracePair, error) {
-		src, err := sourceFor(k.spec)
+		src, err := l.source(k.spec)
 		if err != nil {
 			return tracePair{}, err
 		}

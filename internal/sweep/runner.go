@@ -35,6 +35,12 @@ func NewRunner(g Grid) (*Runner, error) {
 // Grid returns the defaulted grid the Runner executes.
 func (r *Runner) Grid() Grid { return r.grid }
 
+// SetBlobSource wires a remote fallback for file-backed inputs this
+// process cannot read (see BlobSource). Call it before the first Exec
+// or CacheKey — input resolution is memoized, so a source wired later
+// would miss specs that already resolved (and failed) locally.
+func (r *Runner) SetBlobSource(b BlobSource) { r.ld.blobs = b }
+
 // Exec runs one scenario. Failures are recorded in the row's Err
 // field, never returned — the sweep contract is one row per scenario.
 func (r *Runner) Exec(s Scenario) RunResult { return runScenario(r.ld, r.grid, s) }

@@ -414,6 +414,12 @@ type Spec struct {
 
 	// IsFile reports whether Ref is a fleet file.
 	IsFile bool
+
+	// Content, when non-nil on a file spec, is used instead of reading
+	// Ref — the shipped-input form built by WithContent. Fingerprints
+	// keep Ref as their location component so they compare equal to
+	// the file spec holding the same bytes.
+	Content []byte
 }
 
 // ParseSpec parses "[dispatcher@]ref" without touching the
@@ -451,16 +457,29 @@ func (s Spec) String() string {
 	return s.Dispatcher + "@" + s.Ref
 }
 
+// WithContent returns a copy of the spec that loads and fingerprints
+// from data instead of the filesystem (see Content). Only meaningful
+// for file specs; builtins ignore it.
+func (s Spec) WithContent(data []byte) Spec {
+	s.Content = data
+	return s
+}
+
 // Load materialises and validates the fleet, applying the spec's
 // dispatcher override. The returned fleet is not yet resolved —
 // relative DCs keep Servers 0 until Resolve sees the scenario pool.
 func (s Spec) Load() (Fleet, error) {
 	var f Fleet
 	if s.IsFile {
-		data, err := os.ReadFile(s.Ref)
-		if err != nil {
-			return Fleet{}, fmt.Errorf("topology: reading fleet file: %w", err)
+		data := s.Content
+		if data == nil {
+			var err error
+			data, err = os.ReadFile(s.Ref)
+			if err != nil {
+				return Fleet{}, fmt.Errorf("topology: reading fleet file: %w", err)
+			}
 		}
+		var err error
 		if f, err = ParseFleetJSON(data); err != nil {
 			return Fleet{}, fmt.Errorf("topology: %s: %w", s.Ref, err)
 		}
@@ -488,9 +507,13 @@ func (s Spec) Fingerprint() (string, error) {
 	if !s.IsFile {
 		return "topology:builtin:" + s.Ref, nil
 	}
-	data, err := os.ReadFile(s.Ref)
-	if err != nil {
-		return "", fmt.Errorf("topology: fingerprinting %s: %w", s.Ref, err)
+	data := s.Content
+	if data == nil {
+		var err error
+		data, err = os.ReadFile(s.Ref)
+		if err != nil {
+			return "", fmt.Errorf("topology: fingerprinting %s: %w", s.Ref, err)
+		}
 	}
 	sum := sha256.Sum256(data)
 	return fmt.Sprintf("topology:file:%s:%s", s.Ref, hex.EncodeToString(sum[:16])), nil

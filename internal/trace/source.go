@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -120,12 +121,41 @@ func (s SyntheticSource) Load(req Request) (*Trace, error) {
 	return Generate(cfg)
 }
 
+// SourceWithContent parses a file-backed spec and attaches data as
+// the file's content, so the source loads and fingerprints without
+// touching the filesystem. This is how shipped inputs (a distributed
+// worker that cannot see the coordinator's paths) reconstruct a
+// source from blob bytes: the spec — and therefore the fingerprint's
+// path component — stays the coordinator's, while the content comes
+// from the wire.
+func SourceWithContent(spec string, data []byte) (Source, error) {
+	src, err := ParseSourceSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch s := src.(type) {
+	case CSVSource:
+		s.Content = data
+		return s, nil
+	case ClusterSource:
+		s.Content = data
+		return s, nil
+	}
+	return nil, fmt.Errorf("trace: backend %q is not file-backed; it has no content to attach", src.Backend())
+}
+
 // CSVSource ingests the native long CSV format written by WriteCSV
 // (and cmd/tracegen): header vm_id,class,sample,cpu_pct,mem_pct, one
 // row per (VM, sample).
 type CSVSource struct {
 	// Path is the trace file.
 	Path string
+
+	// Content, when non-nil, is used instead of reading Path — the
+	// shipped-input form built by SourceWithContent. Fingerprints keep
+	// Path as their location component so they compare equal to the
+	// file-backed source holding the same bytes.
+	Content []byte
 }
 
 // Backend implements Source.
@@ -136,11 +166,23 @@ func (s CSVSource) Spec() string { return "csv:" + s.Path }
 
 // Fingerprint implements Source: the path plus a content hash, so a
 // renamed or edited file never aliases a cached result.
-func (s CSVSource) Fingerprint() (string, error) { return fileFingerprint("csv", s.Path) }
+func (s CSVSource) Fingerprint() (string, error) {
+	if s.Content != nil {
+		return contentFingerprint("csv", s.Path, s.Content), nil
+	}
+	return fileFingerprint("csv", s.Path)
+}
 
 // Load implements Source: the file is re-read on every call (callers
 // memoize), then cut down to the requested VM count and day span.
 func (s CSVSource) Load(req Request) (*Trace, error) {
+	if s.Content != nil {
+		tr, err := ReadCSV(bytes.NewReader(s.Content))
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv backend: %s: %w", s.Path, err)
+		}
+		return fitTrace(tr, s.Spec(), req)
+	}
 	f, err := os.Open(s.Path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: csv backend: %w", err)
@@ -158,6 +200,10 @@ func (s CSVSource) Load(req Request) (*Trace, error) {
 type ClusterSource struct {
 	// Path is the cluster reading table.
 	Path string
+
+	// Content, when non-nil, is used instead of reading Path (see
+	// CSVSource.Content).
+	Content []byte
 }
 
 // Backend implements Source.
@@ -167,10 +213,22 @@ func (ClusterSource) Backend() string { return "cluster" }
 func (s ClusterSource) Spec() string { return "cluster:" + s.Path }
 
 // Fingerprint implements Source (path + content hash, as CSVSource).
-func (s ClusterSource) Fingerprint() (string, error) { return fileFingerprint("cluster", s.Path) }
+func (s ClusterSource) Fingerprint() (string, error) {
+	if s.Content != nil {
+		return contentFingerprint("cluster", s.Path, s.Content), nil
+	}
+	return fileFingerprint("cluster", s.Path)
+}
 
 // Load implements Source.
 func (s ClusterSource) Load(req Request) (*Trace, error) {
+	if s.Content != nil {
+		tr, err := ReadClusterCSV(bytes.NewReader(s.Content))
+		if err != nil {
+			return nil, fmt.Errorf("trace: cluster backend: %s: %w", s.Path, err)
+		}
+		return fitTrace(tr, s.Spec(), req)
+	}
 	f, err := os.Open(s.Path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: cluster backend: %w", err)
@@ -196,6 +254,14 @@ func fileFingerprint(backend, path string) (string, error) {
 		return "", fmt.Errorf("trace: fingerprinting %s: %w", path, err)
 	}
 	return fmt.Sprintf("%s:%s:%s", backend, path, hex.EncodeToString(h.Sum(nil)[:16])), nil
+}
+
+// contentFingerprint is fileFingerprint over in-memory bytes: the
+// same format, so a shipped copy of a file fingerprints identically
+// to reading it in place.
+func contentFingerprint(backend, path string, data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s:%s:%s", backend, path, hex.EncodeToString(sum[:16]))
 }
 
 // fitTrace cuts a loaded trace down to a request: the first req.VMs

@@ -164,6 +164,11 @@ type (
 
 	// SweepWorkerOptions tunes one worker loop (name, lease batch).
 	SweepWorkerOptions = dist.WorkerOptions
+
+	// SweepCheckpoint is a loaded, validated coordinator journal —
+	// the crash-resume state LoadSweepCheckpoint reads and
+	// ResumeSweepCoordinator restarts from.
+	SweepCheckpoint = dist.Checkpoint
 )
 
 // Workload classes (Section III-B).
@@ -358,6 +363,20 @@ func NewSweepWorkerClient(addr string) DistBackend { return dist.NewClient(addr)
 // sweep completes, returning how many scenarios this worker executed.
 func RunSweepWorker(ctx context.Context, b DistBackend, opt SweepWorkerOptions) (int, error) {
 	return dist.Work(ctx, b, opt)
+}
+
+// LoadSweepCheckpoint reads and validates the journal a killed
+// coordinator (one given DistOptions.CheckpointDir) left behind.
+// Corrupt or truncated journals are loud errors, never partial
+// resumes.
+func LoadSweepCheckpoint(dir string) (*SweepCheckpoint, error) { return dist.LoadCheckpoint(dir) }
+
+// ResumeSweepCoordinator reconstructs a coordinator mid-grid from a
+// loaded checkpoint: journaled rows are restored without
+// re-execution and the rest of the grid leases out as usual, so the
+// resumed sweep's output is byte-identical to an uninterrupted run.
+func ResumeSweepCoordinator(ck *SweepCheckpoint, opt DistOptions) (*SweepCoordinator, error) {
+	return dist.Resume(ck, opt)
 }
 
 // RunDistributedSweep runs the whole coordinator/worker protocol in
