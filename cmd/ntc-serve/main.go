@@ -1,0 +1,186 @@
+// Command ntc-serve is the live fleet service: it replays one sweep
+// scenario slot by slot (1 slot = 1 hour of trace time) and serves
+//
+//	GET  /metrics    OpenMetrics/Prometheus exposition of the fleet
+//	POST /v1/whatif  scenario-delta queries answered from the result cache
+//	POST /v1/step    manual replay ticks (when -tick is 0)
+//	GET  /v1/status  replay position + scenario identity
+//	GET  /healthz    liveness probe
+//
+// The scenario comes from single-valued axis flags (the same axes
+// ntc-sweep sweeps). With -tick the replay advances on a wall-clock
+// ticker; without it the replay only moves when /v1/step is POSTed,
+// which is what the CI serve gate and scripted experiments use.
+//
+//	ntc-serve -addr :8740 -topology uniform@triad -rebalance epoch:4 -tick 2s
+//	ntc-serve -addr :8740 -cache rw -cache-dir store   # manual ticks, warm what-ifs
+//
+// What-if deltas re-use the incremental result store (-cache/-cache-dir,
+// shared with ntc-sweep): a warm store answers without executing a
+// single scenario. See docs/SERVING.md for the endpoint and gauge
+// reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+	"repro/internal/sweep/cache"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ntc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parse flags, build the service,
+// announce the bound address on stderr, and serve until the process
+// dies (the daemon has no other exit path).
+func run(args []string, stdout, stderr io.Writer) error {
+	s, ln, tick, err := setup(args, stderr)
+	if err != nil {
+		return err
+	}
+	return serveHTTP(s, ln, tick, stderr)
+}
+
+// setup parses flags and builds the server plus its listener — split
+// from run so tests can drive a fully configured service without
+// blocking in Serve.
+func setup(args []string, stderr io.Writer) (*serve.Server, net.Listener, time.Duration, error) {
+	fs, fl := newFlags(stderr)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, 0, err
+	}
+	if fs.NArg() > 0 {
+		return nil, nil, 0, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	mode, err := cache.ParseMode(*fl.cacheMode)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	store, err := cache.Open(*fl.cacheDir, mode)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	s, err := serve.New(serve.Options{
+		Grid: sweep.Grid{
+			Policies:       []string{*fl.policy},
+			VMs:            []int{*fl.vms},
+			MaxServers:     []int{*fl.maxServers},
+			HistoryDays:    *fl.history,
+			EvalDays:       *fl.days,
+			Seeds:          []int64{*fl.seed},
+			StaticPowerW:   []float64{*fl.static},
+			Predictors:     []string{*fl.predictor},
+			Transitions:    []sweep.TransitionSpec{{Name: *fl.transitions}},
+			ChurnFractions: []float64{*fl.churn},
+			Traces:         []string{*fl.trace},
+			Topologies:     []string{*fl.topology},
+			Rebalances:     []string{*fl.rebalance},
+		},
+		Cache:              store,
+		MaxWhatIfScenarios: *fl.whatifMax,
+		MaxWhatIfVMs:       *fl.whatifVMs,
+		WhatIfWorkers:      *fl.whatifWorkers,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	ln, err := net.Listen("tcp", *fl.addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return s, ln, *fl.tick, nil
+}
+
+// serveHTTP announces the service and serves it forever, ticking the
+// replay when a wall-clock interval is configured.
+func serveHTTP(s *serve.Server, ln net.Listener, tick time.Duration, stderr io.Writer) error {
+	snap := s.Snapshot()
+	fmt.Fprintf(stderr, "ntc-serve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(stderr, "ntc-serve: scenario %s (%d slots)\n", s.Scenario().ID(), snap.Slots)
+	if tick > 0 {
+		fmt.Fprintf(stderr, "ntc-serve: advancing 1 slot per %s\n", tick)
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for range t.C {
+				// Stepping a finished replay is a no-op; keep ticking
+				// so /metrics stays live after the trace ends.
+				if _, _, err := s.Step(1); err != nil {
+					fmt.Fprintf(stderr, "ntc-serve: step: %v\n", err)
+					return
+				}
+			}
+		}()
+	} else {
+		fmt.Fprintln(stderr, "ntc-serve: manual ticks (POST /v1/step)")
+	}
+	return http.Serve(ln, s.Handler())
+}
+
+// flags holds the parsed flag values; newFlags binds them so setup
+// and the tests share one definition.
+type flags struct {
+	addr          *string
+	tick          *time.Duration
+	policy        *string
+	vms           *int
+	maxServers    *int
+	days          *int
+	history       *int
+	seed          *int64
+	static        *float64
+	predictor     *string
+	transitions   *string
+	churn         *float64
+	trace         *string
+	topology      *string
+	rebalance     *string
+	cacheMode     *string
+	cacheDir      *string
+	whatifMax     *int
+	whatifVMs     *int
+	whatifWorkers *int
+}
+
+func newFlags(stderr io.Writer) (*flag.FlagSet, *flags) {
+	fs := flag.NewFlagSet("ntc-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fl := &flags{
+		addr:          fs.String("addr", "127.0.0.1:8740", "listen address (host:port)"),
+		tick:          fs.Duration("tick", 0, "advance one slot per interval (0 = manual ticks via POST /v1/step)"),
+		policy:        fs.String("policy", "EPACT", "allocation policy"),
+		vms:           fs.Int("vms", 600, "trace VM count"),
+		maxServers:    fs.Int("max-servers", 600, "physical pool bound (0 = unbounded)"),
+		days:          fs.Int("days", 7, "evaluated days (24 slots/day)"),
+		history:       fs.Int("history", 7, "history days fed to the predictor"),
+		seed:          fs.Int64("seed", 2018, "trace seed"),
+		static:        fs.Float64("static", 0, "static-power override in W (0 = default 15 W)"),
+		predictor:     fs.String("predictor", "arima", "forecast variant"),
+		transitions:   fs.String("transitions", "none", "transition-cost model"),
+		churn:         fs.Float64("churn", 0, "VM churn fraction in [0,1]"),
+		trace:         fs.String("trace", "synthetic", "trace backend spec (synthetic, csv:file, cluster:file)"),
+		topology:      fs.String("topology", "single", "fleet topology ([dispatcher@]builtin or [dispatcher@]fleet.json)"),
+		rebalance:     fs.String("rebalance", "off", `cross-DC rebalance spec ("off" or "epoch:N[@dispatcher]")`),
+		cacheMode:     fs.String("cache", "off", "what-if result cache: off, rw (read+write), ro (read-only)"),
+		cacheDir:      fs.String("cache-dir", "", "result-cache directory (required unless -cache off)"),
+		whatifMax:     fs.Int("whatif-max", serve.DefaultMaxWhatIfScenarios, "max scenarios one what-if request may expand to"),
+		whatifVMs:     fs.Int("whatif-vms", serve.DefaultMaxWhatIfVMs, "max VM count a what-if may ask for"),
+		whatifWorkers: fs.Int("whatif-workers", serve.DefaultWhatIfWorkers, "concurrent what-if scenario executions"),
+	}
+	return fs, fl
+}

@@ -81,7 +81,7 @@ func TestREADMELinksDesignDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md", "docs/DISTRIBUTED.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md", "docs/DISTRIBUTED.md", "docs/SERVING.md"} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("README.md does not link %s", want)
 		}
@@ -137,6 +137,49 @@ func TestDocsPinCrashResume(t *testing.T) {
 	} {
 		if !strings.Contains(string(dist), want) {
 			t.Errorf("docs/DISTRIBUTED.md lost the crash-resume marker %q", want)
+		}
+	}
+}
+
+// TestDocsPinServing pins the live-service documentation: the
+// ntc-serve endpoints, the gauge names, the what-if hermeticity
+// gates and the counter-reconciliation invariant are user-facing
+// contracts (HTTP surface + exposition bytes), and both the README's
+// ntc-serve section and SERVING.md's sections must survive future
+// edits.
+func TestDocsPinServing(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## cmd/ntc-serve",
+		"`-tick`",
+		"`-whatif-max`, `-whatif-vms`, `-whatif-workers`",
+		"/v1/whatif",
+	} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md lost the ntc-serve marker %q", want)
+		}
+	}
+	serving, err := os.ReadFile("docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## Endpoints",
+		"## Gauge reference",
+		"## What-if queries",
+		"## Determinism and concurrency guarantees",
+		"/v1/whatif",
+		"/v1/step",
+		"ntc_fleet_energy_mj",
+		"scenarios == executed + cache_hits",
+		"scripts/serve_check.sh",
+		"FuzzWhatIfDecode",
+	} {
+		if !strings.Contains(string(serving), want) {
+			t.Errorf("docs/SERVING.md lost the marker %q", want)
 		}
 	}
 }

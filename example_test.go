@@ -3,6 +3,7 @@ package ntcdc_test
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	ntcdc "repro"
 )
@@ -130,4 +131,44 @@ func ExampleRunDistributedSweep() {
 	// Output:
 	// units: 2
 	// byte-identical to the engine: true
+}
+
+// The live fleet service: replay a scenario slot by slot and read
+// the fleet's gauges from the OpenMetrics exposition at any point.
+func ExampleNewFleetService() {
+	svc, err := ntcdc.NewFleetService(ntcdc.FleetServiceOptions{
+		Grid: ntcdc.SweepGrid{
+			Policies:    []string{"EPACT"},
+			VMs:         []int{24},
+			MaxServers:  []int{24},
+			HistoryDays: 1,
+			EvalDays:    1,
+			Predictors:  []string{"oracle"},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	slot, done, err := svc.Step(3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("slot:", slot, "done:", done)
+
+	var page strings.Builder
+	if err := svc.WriteMetrics(&page); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, line := range strings.Split(page.String(), "\n") {
+		if strings.HasPrefix(line, "ntc_slot ") || strings.HasPrefix(line, "ntc_slots ") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// slot: 3 done: false
+	// ntc_slot 3
+	// ntc_slots 24
 }

@@ -161,17 +161,19 @@ func (r *Result) ActiveServersPerSlot() []int {
 // Run simulates the evaluation period slot by slot. The heavy lifting
 // lives in runState (buffers.go): per-run lookup tables keyed by DVFS
 // level and reusable scratch buffers keep the slot loop allocation-free.
+// Run is a Stepper driven to exhaustion, so a caller stepping the same
+// window one slot at a time computes the identical result.
 func Run(cfg Config) (*Result, error) {
-	st, err := newRunState(&cfg)
+	st, err := NewStepper(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for s := st.first; s < st.last; s++ {
-		if err := st.step(s); err != nil {
+	for !st.Done() {
+		if _, err := st.Step(); err != nil {
 			return nil, err
 		}
 	}
-	return st.finish(), nil
+	return st.Finish(), nil
 }
 
 // residentSets fills out with each VM's resident memory in bytes at

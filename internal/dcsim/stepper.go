@@ -1,0 +1,69 @@
+package dcsim
+
+import "fmt"
+
+// Stepper advances a simulation one slot at a time over the same
+// run-scoped state a batch Run uses: the DVFS-level lookup tables,
+// the packed prediction windows and the reusable scratch buffers are
+// built once at construction and shared by every Step, so stepping a
+// window to completion is the batch run — not a re-derivation of it.
+// Run itself is implemented as a Stepper driven to exhaustion, which
+// is what makes "incremental equals batch" true by construction
+// rather than by test.
+//
+// This is the incremental primitive the live fleet service
+// (internal/serve) ticks: a daemon that replays a trace slot by slot
+// holds one Stepper per datacenter and calls Step on every tick,
+// paying the per-run table construction once instead of once per
+// slot. The StartSlot/NumSlots/InitialActiveServers window knobs in
+// Config apply unchanged — a Stepper over a window steps exactly that
+// window.
+//
+// A Stepper is not safe for concurrent use; callers serialise Step
+// (the service steps under its own lock).
+type Stepper struct {
+	cfg  Config
+	st   *runState
+	next int
+}
+
+// NewStepper validates cfg and builds the run state (lookup tables,
+// scratch buffers) without simulating any slot.
+func NewStepper(cfg Config) (*Stepper, error) {
+	s := &Stepper{cfg: cfg}
+	st, err := newRunState(&s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	s.next = st.first
+	return s, nil
+}
+
+// Slots returns how many slots the stepper's window spans in total.
+func (s *Stepper) Slots() int { return s.st.last - s.st.first }
+
+// Done reports whether every slot of the window has been stepped.
+func (s *Stepper) Done() bool { return s.next >= s.st.last }
+
+// Step simulates the next slot of the window and returns its result.
+// Stepping past the window is an error, as is any simulation failure
+// (the stepper is then poisoned — a slot cannot be retried, because
+// the slot loop's carried state has already advanced).
+func (s *Stepper) Step() (SlotResult, error) {
+	if s.Done() {
+		return SlotResult{}, fmt.Errorf("dcsim: stepper exhausted: all %d slots of window [%d, %d) stepped",
+			s.Slots(), s.st.first, s.st.last)
+	}
+	if err := s.st.step(s.next); err != nil {
+		return SlotResult{}, err
+	}
+	s.next++
+	return s.st.slots[len(s.st.slots)-1], nil
+}
+
+// Finish aggregates the slots stepped so far into a Result. After
+// stepping the whole window it returns exactly what Run would have;
+// called early it aggregates the prefix (the live service's
+// "series so far" view).
+func (s *Stepper) Finish() *Result { return s.st.finish() }

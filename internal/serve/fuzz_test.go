@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzWhatIfDecode feeds arbitrary bytes to the what-if decoder: a
+// what-if body is remote input by construction, so every input must
+// either be rejected loudly or decode into a bounded, hermetic
+// scenario list — never panic, never expand past the scenario bound,
+// never smuggle in a file-backed input. The committed corpus under
+// testdata/fuzz pins the interesting shapes; CI's chaos job replays
+// it on every run.
+func FuzzWhatIfDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policies": ["EPACT", "COAT"]}`))
+	f.Add([]byte(`{"policies": ["EPACT"], "vms": [24, 48], "static_power_w": [15, 30, 45]}`))
+	f.Add([]byte(`{"transitions": ["none", "default"], "rebalances": ["off", "epoch:4"]}`))
+	f.Add([]byte(`{"topologies": ["uniform@/etc/fleet.json"]}`))
+	f.Add([]byte(`{"traces": ["csv:/etc/passwd"]}`))
+	f.Add([]byte(`{"polices": ["EPACT"]}`))
+	f.Add([]byte(`{"policies": ["EPACT"]} {"policies": ["COAT"]}`))
+	f.Add([]byte(`{"vms": [1000000]}`))
+	f.Add([]byte(blowupBody()))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"policies": ["EPACT"]}]`))
+
+	const (
+		maxScenarios = 16
+		maxVMs       = 500
+	)
+	base := testGrid().WithDefaults()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scens, err := decodeWhatIf(data, base, maxScenarios, maxVMs)
+		if err != nil {
+			if scens != nil {
+				t.Fatalf("rejected input still returned %d scenarios", len(scens))
+			}
+			return
+		}
+		if len(scens) == 0 {
+			t.Fatal("accepted input decoded to zero scenarios")
+		}
+		if len(scens) > maxScenarios {
+			t.Fatalf("decoded %d scenarios past the %d bound", len(scens), maxScenarios)
+		}
+		for _, sc := range scens {
+			if sc.VMs <= 0 || sc.VMs > maxVMs {
+				t.Fatalf("scenario VMs %d escaped the (0, %d] bound", sc.VMs, maxVMs)
+			}
+			if sc.TraceSpec != "synthetic" {
+				t.Fatalf("scenario trace %q escaped the synthetic-only base", sc.TraceSpec)
+			}
+			sp, err := topology.ParseSpec(sc.Topology)
+			if err != nil {
+				t.Fatalf("accepted scenario has unparsable topology %q: %v", sc.Topology, err)
+			}
+			if sp.IsFile {
+				t.Fatalf("file-backed topology %q escaped the hermeticity gate", sc.Topology)
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// maxWhatIfBody bounds a what-if request body; the delta surface is a
+// handful of short axis lists, so a megabyte is already generous.
+const maxWhatIfBody = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	GET  /metrics    OpenMetrics/Prometheus exposition
+//	POST /v1/whatif  scenario-delta query (JSON in, JSON out)
+//	POST /v1/step    advance the replay ({"slots": n}, default 1)
+//	GET  /v1/status  live snapshot summary (JSON)
+//	GET  /healthz    liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
+	mux.HandleFunc("/v1/step", s.handleStep)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	// The classic text exposition content type; the page also carries
+	// the OpenMetrics # EOF terminator, which text-format parsers
+	// treat as a comment.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWhatIfBody))
+	if err != nil {
+		s.rejectWhatIf(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	scens, err := decodeWhatIf(body, s.runner.Grid(), s.opt.MaxWhatIfScenarios, s.opt.MaxWhatIfVMs)
+	if err != nil {
+		s.rejectWhatIf(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.whatIf(scens))
+}
+
+// rejectWhatIf records a rejected request and answers with a JSON
+// error body.
+func (s *Server) rejectWhatIf(w http.ResponseWriter, code int, msg string) {
+	s.wmu.Lock()
+	s.wst.rejected++
+	s.wmu.Unlock()
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// stepRequest is the manual-tick body; the zero value steps one slot.
+type stepRequest struct {
+	Slots int `json:"slots"`
+}
+
+// stepResponse reports the replay position after a step (also the
+// /v1/status shape, minus the gauges the metrics page carries).
+type stepResponse struct {
+	Slot  int  `json:"slot"`
+	Slots int  `json:"slots"`
+	Done  bool `json:"done"`
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req stepRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "request body too large"})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "parsing step request: " + err.Error()})
+			return
+		}
+	}
+	slot, done, err := s.Step(req.Slots)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, stepResponse{Slot: slot, Slots: s.Snapshot().Slots, Done: done})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Scenario string `json:"scenario"`
+		stepResponse
+	}{s.scen.ID(), stepResponse{Slot: snap.Slot, Slots: snap.Slots, Done: snap.Done}})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}

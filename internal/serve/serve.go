@@ -1,0 +1,319 @@
+// Package serve is the live fleet service behind ntc-serve: it
+// replays one sweep scenario slot by slot on the incremental fleet
+// stepper (topology.Stepper), publishes the fleet's gauges as an
+// OpenMetrics/Prometheus exposition, and answers what-if scenario
+// deltas from the content-addressed result cache, leasing a bounded
+// in-process sweep only on a miss.
+//
+// Concurrency model: stepping is serialised by a mutex, and every
+// step publishes an immutable Snapshot through an atomic pointer —
+// a scrape reads exactly one pointer, so it always sees a consistent
+// slot (no torn reads, no locks on the read path). What-if counters
+// commit under their own mutex as one transaction per request, so the
+// exposition's whatif series always reconcile:
+//
+//	scenarios == executed + cache_hits
+//
+// See docs/SERVING.md for the endpoint and gauge reference.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+	"repro/internal/sweep/cache"
+	"repro/internal/topology"
+)
+
+// DefaultMaxWhatIfScenarios bounds the axis product of one what-if
+// request: the delta is a question, not a batch sweep, and the bound
+// is enforced before expansion so a crafted request cannot balloon
+// memory (mirroring the dist protocol's hermeticity gates).
+const DefaultMaxWhatIfScenarios = 64
+
+// DefaultMaxWhatIfVMs bounds the trace sizes a what-if may ask for.
+const DefaultMaxWhatIfVMs = 2000
+
+// DefaultWhatIfWorkers bounds concurrent scenario executions across
+// all in-flight what-if requests (the "bounded in-process sweep").
+const DefaultWhatIfWorkers = 2
+
+// Options configures a Server.
+type Options struct {
+	// Grid is the base scenario grid. It must expand to exactly one
+	// scenario — the live run the daemon replays — and it is the base
+	// every what-if delta is applied to.
+	Grid sweep.Grid
+
+	// Cache, when non-nil, is the content-addressed result store
+	// what-if scenarios are answered from (and executed misses are
+	// persisted to). nil executes every what-if scenario.
+	Cache *cache.Store
+
+	// MaxWhatIfScenarios caps one request's axis product; <= 0 uses
+	// DefaultMaxWhatIfScenarios.
+	MaxWhatIfScenarios int
+
+	// MaxWhatIfVMs caps the VM counts a what-if may sweep; <= 0 uses
+	// DefaultMaxWhatIfVMs.
+	MaxWhatIfVMs int
+
+	// WhatIfWorkers caps concurrent scenario executions across all
+	// what-if requests; <= 0 uses DefaultWhatIfWorkers.
+	WhatIfWorkers int
+}
+
+// DCSnapshot is one datacenter's slice of a Snapshot.
+type DCSnapshot struct {
+	Name string
+
+	// VMs is the DC's current VM count (the live epoch's dispatch).
+	VMs int
+
+	// EnergyMJ is the DC's cumulative facility energy.
+	EnergyMJ float64
+
+	// SlotEnergyMJ is the DC's facility energy in the last completed
+	// slot; PowerW is the same quantity as mean power over the slot
+	// hour.
+	SlotEnergyMJ float64
+	PowerW       float64
+
+	// ActiveServers is the powered-on count at the last slot.
+	ActiveServers int
+
+	Violations          int
+	LatencyWeightedViol float64
+	Migrations          int
+	CrossDCMigrations   int
+}
+
+// Snapshot is one consistent view of the live run: everything in it
+// was computed at the same completed slot. Snapshots are immutable —
+// the server publishes a fresh one per step through an atomic pointer
+// and never writes to a published snapshot again.
+type Snapshot struct {
+	// Scenario is the live scenario being replayed.
+	Scenario sweep.Scenario
+
+	// Slot is how many slots have completed (0 before the first
+	// step); Slots is the run's total. Slot is monotone — it is the
+	// scrape-visible tick counter.
+	Slot  int
+	Slots int
+
+	// Done reports whether the replay has finished.
+	Done bool
+
+	// EnergyMJ is the fleet's cumulative facility energy; its
+	// per-slot increments are bit-exact with the batch run's
+	// SlotEnergyMJ series (the stepper property).
+	EnergyMJ float64
+
+	// SlotEnergyMJ is the last completed slot's fleet energy.
+	SlotEnergyMJ float64
+
+	// EPScore is the realized energy proportionality of the slot
+	// energies seen so far (topology.SeriesEPScore semantics).
+	EPScore float64
+
+	ActiveServers       int
+	Violations          int
+	LatencyWeightedViol float64
+	Migrations          int
+	CrossDCMigrations   int
+
+	// DCs is the per-datacenter breakdown, fleet spec order.
+	DCs []DCSnapshot
+}
+
+// whatifStats are the what-if traffic counters. They are committed
+// under one mutex as a single transaction per request, which is what
+// makes scenarios == executed + cacheHits hold at every scrape.
+type whatifStats struct {
+	requests  int64
+	rejected  int64
+	scenarios int64
+	executed  int64
+	cacheHits int64
+}
+
+// Server is the live fleet service. Create with New; serve its
+// Handler; advance it with Step (or wire a ticker to Step).
+type Server struct {
+	opt    Options
+	scen   sweep.Scenario
+	runner *sweep.Runner
+	store  *cache.Store
+
+	// sem leases what-if scenario executions (bounded in-process sweep).
+	sem chan struct{}
+
+	// mu serialises stepping and owns every cumulative accumulator.
+	mu      sync.Mutex
+	stepper *topology.Stepper
+	stepErr error
+	cum     Snapshot // accumulators; copied (not aliased) into published snapshots
+	minSlot float64  // min/max of fleet slot energies so far, for EPScore
+	maxSlot float64
+
+	// cur is the published snapshot; scrapes load it once.
+	cur atomic.Pointer[Snapshot]
+
+	wmu sync.Mutex
+	wst whatifStats
+}
+
+// New builds the service: expands the base grid (which must describe
+// exactly one scenario), resolves its inputs through a sweep Runner —
+// the identical config a batch sweep would execute — and positions
+// the stepper before slot 0.
+func New(opt Options) (*Server, error) {
+	if opt.MaxWhatIfScenarios <= 0 {
+		opt.MaxWhatIfScenarios = DefaultMaxWhatIfScenarios
+	}
+	if opt.MaxWhatIfVMs <= 0 {
+		opt.MaxWhatIfVMs = DefaultMaxWhatIfVMs
+	}
+	if opt.WhatIfWorkers <= 0 {
+		opt.WhatIfWorkers = DefaultWhatIfWorkers
+	}
+	grid := opt.Grid.WithDefaults()
+	scens, err := sweep.Expand(grid)
+	if err != nil {
+		return nil, err
+	}
+	if len(scens) != 1 {
+		return nil, fmt.Errorf("serve: base grid expands to %d scenarios, want exactly 1 (the live run)", len(scens))
+	}
+	runner, err := sweep.NewRunner(grid)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := runner.StepperConfig(scens[0])
+	if err != nil {
+		return nil, err
+	}
+	st, err := topology.NewStepper(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		opt:     opt,
+		scen:    scens[0],
+		runner:  runner,
+		store:   opt.Cache,
+		sem:     make(chan struct{}, opt.WhatIfWorkers),
+		stepper: st,
+	}
+	s.cum = Snapshot{
+		Scenario: s.scen,
+		Slots:    st.Slots(),
+		Done:     st.Done(),
+		DCs:      make([]DCSnapshot, len(st.Fleet().DCs)),
+	}
+	for i, dc := range st.Fleet().DCs {
+		s.cum.DCs[i].Name = dc.Name
+	}
+	s.publish()
+	return s, nil
+}
+
+// Scenario returns the live scenario the server replays.
+func (s *Server) Scenario() sweep.Scenario { return s.scen }
+
+// Snapshot returns the current published snapshot. It is immutable;
+// callers must not modify it.
+func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
+
+// publish copies the accumulator state into a fresh immutable
+// snapshot and swaps it in. Caller holds mu (or is the constructor).
+func (s *Server) publish() {
+	snap := s.cum
+	snap.DCs = append([]DCSnapshot(nil), s.cum.DCs...)
+	s.cur.Store(&snap)
+}
+
+// Step advances the replay by up to n slots (n <= 0 steps one) and
+// publishes a snapshot. It returns the new completed-slot count and
+// whether the replay has finished. Stepping a finished replay is a
+// no-op, not an error — a ticker may keep firing after the trace
+// ends. A simulation error poisons the server: it is returned from
+// every subsequent Step.
+func (s *Server) Step(n int) (slot int, done bool, err error) {
+	if n <= 0 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stepErr != nil {
+		return s.cum.Slot, s.cum.Done, s.stepErr
+	}
+	for i := 0; i < n && !s.stepper.Done(); i++ {
+		step, err := s.stepper.Step()
+		if err != nil {
+			s.stepErr = err
+			return s.cum.Slot, s.cum.Done, err
+		}
+		s.apply(step)
+	}
+	s.cum.Done = s.stepper.Done()
+	s.publish()
+	return s.cum.Slot, s.cum.Done, nil
+}
+
+// apply folds one slot into the cumulative accumulators. Caller
+// holds mu.
+func (s *Server) apply(step topology.SlotStep) {
+	c := &s.cum
+	c.Slot = step.Slot + 1
+	c.EnergyMJ += step.EnergyMJ
+	c.SlotEnergyMJ = step.EnergyMJ
+	c.ActiveServers = step.ActiveServers
+	c.Violations += step.Violations
+	c.LatencyWeightedViol += step.LatencyWeightedViol
+	c.Migrations += step.Migrations
+	c.CrossDCMigrations += step.CrossDCMigrations
+
+	if c.Slot == 1 {
+		s.minSlot, s.maxSlot = step.EnergyMJ, step.EnergyMJ
+	} else {
+		if step.EnergyMJ < s.minSlot {
+			s.minSlot = step.EnergyMJ
+		}
+		if step.EnergyMJ > s.maxSlot {
+			s.maxSlot = step.EnergyMJ
+		}
+	}
+	// topology.SeriesEPScore semantics over the series so far: a
+	// never-burning fleet is perfectly proportional, not the opposite.
+	if s.maxSlot <= 0 {
+		c.EPScore = 1
+	} else {
+		c.EPScore = 1 - s.minSlot/s.maxSlot
+	}
+
+	for i := range step.DCs {
+		d, v := &c.DCs[i], &step.DCs[i]
+		d.VMs = v.VMs
+		d.EnergyMJ += v.EnergyMJ
+		d.SlotEnergyMJ = v.EnergyMJ
+		// 1 slot = 1 hour: mean power over the slot in watts.
+		d.PowerW = v.EnergyMJ * 1e6 / 3600
+		d.ActiveServers = v.ActiveServers
+		d.Violations += v.Violations
+		d.LatencyWeightedViol += v.LatencyWeightedViol
+		d.Migrations += v.Migrations
+		d.CrossDCMigrations += v.CrossDCMigrations
+	}
+}
+
+// whatifSnapshot copies the committed what-if counters.
+func (s *Server) whatifSnapshot() whatifStats {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.wst
+}

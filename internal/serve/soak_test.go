@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweep/cache"
+)
+
+// The goroutine-side helpers return errors instead of calling t.Fatal
+// (which only the test goroutine may do).
+
+func fmtErrorf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func parseMetricsErr(page string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(page, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed value in %q: %w", line, err)
+		}
+		if _, dup := out[line[:i]]; dup {
+			return nil, fmt.Errorf("duplicate series %q", line[:i])
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+// TestConcurrencySoak is the torn-read and counter-reconciliation
+// soak (run it under -race, as CI does): scrapers and what-if clients
+// hammer the HTTP surface while a ticker goroutine advances the
+// replay. Every scrape must be internally consistent — the gauges on
+// one page all belong to the slot the page reports, checked against a
+// reference replay — and the what-if counters must reconcile on every
+// page, not just at the end. All soak what-ifs run against a
+// pre-warmed cache, so every one of them must report zero executions.
+func TestConcurrencySoak(t *testing.T) {
+	store, err := cache.Open(t.TempDir(), cache.ModeRW)
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+
+	// Reference replay: the expected cumulative gauges per slot,
+	// bit-exact because the live server accumulates through the
+	// identical code path.
+	ref := newTestServer(t, Options{})
+	type slotState struct {
+		energyMJ   float64
+		violations float64
+		lwViol     float64
+		migrations float64
+		crossDC    float64
+	}
+	refSnap := ref.Snapshot()
+	expected := make([]slotState, refSnap.Slots+1)
+	for !ref.Snapshot().Done {
+		if _, _, err := ref.Step(1); err != nil {
+			t.Fatalf("reference Step: %v", err)
+		}
+		sn := ref.Snapshot()
+		expected[sn.Slot] = slotState{
+			energyMJ:   sn.EnergyMJ,
+			violations: float64(sn.Violations),
+			lwViol:     sn.LatencyWeightedViol,
+			migrations: float64(sn.Migrations),
+			crossDC:    float64(sn.CrossDCMigrations),
+		}
+	}
+	slots := ref.Snapshot().Slots
+
+	s := newTestServer(t, Options{Cache: store, WhatIfWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the cache: one cold request executes its scenarios and
+	// persists them; everything the soak fires afterwards is warm.
+	const whatifBody = `{"policies": ["EPACT", "COAT"], "static_power_w": [15, 30]}`
+	postWhatIf := func() (WhatIfResponse, error) {
+		var wr WhatIfResponse
+		resp, err := http.Post(ts.URL+"/v1/whatif", "application/json", strings.NewReader(whatifBody))
+		if err != nil {
+			return wr, fmt.Errorf("POST /v1/whatif: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return wr, fmt.Errorf("POST /v1/whatif: status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+			return wr, fmt.Errorf("decoding what-if response: %w", err)
+		}
+		return wr, nil
+	}
+	cold, err := postWhatIf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Scenarios != 4 {
+		t.Fatalf("cold what-if answered %d scenarios, want 4", cold.Scenarios)
+	}
+	if cold.Executed != 4 || cold.CacheHits != 0 {
+		t.Fatalf("cold what-if: executed=%d cacheHits=%d, want 4/0", cold.Executed, cold.CacheHits)
+	}
+
+	const (
+		scrapers      = 4
+		scrapesEach   = 30
+		whatifClients = 3
+		whatifsEach   = 10
+	)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, scrapers+whatifClients+1)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmtErrorf(format, args...):
+		default:
+		}
+	}
+
+	// Ticker: advance one slot at a time so scrapers see many
+	// distinct intermediate slots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !s.Snapshot().Done {
+			if _, _, err := s.Step(1); err != nil {
+				fail("Step: %v", err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapesEach; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					fail("GET /metrics: %v", err)
+					return
+				}
+				page, err := readAll(resp)
+				if err != nil {
+					fail("reading /metrics: %v", err)
+					return
+				}
+				m, err := parseMetricsErr(page)
+				if err != nil {
+					fail("parsing /metrics: %v", err)
+					return
+				}
+				slot := int(m["ntc_slot"])
+				if slot < 0 || slot > slots {
+					fail("scraped slot %d out of range [0,%d]", slot, slots)
+					return
+				}
+				// Torn-read check: every gauge on the page must be the
+				// reference value for the page's own slot.
+				want := expected[slot]
+				if m["ntc_fleet_energy_mj"] != want.energyMJ {
+					fail("slot %d: energy %v, want %v (torn snapshot?)", slot, m["ntc_fleet_energy_mj"], want.energyMJ)
+					return
+				}
+				if m["ntc_fleet_violations"] != want.violations {
+					fail("slot %d: violations %v, want %v", slot, m["ntc_fleet_violations"], want.violations)
+					return
+				}
+				if m["ntc_fleet_latency_weighted_viol"] != want.lwViol {
+					fail("slot %d: latency-weighted viol %v, want %v", slot, m["ntc_fleet_latency_weighted_viol"], want.lwViol)
+					return
+				}
+				if m["ntc_fleet_migrations"] != want.migrations {
+					fail("slot %d: migrations %v, want %v", slot, m["ntc_fleet_migrations"], want.migrations)
+					return
+				}
+				if m["ntc_fleet_cross_dc_migrations"] != want.crossDC {
+					fail("slot %d: cross-DC migrations %v, want %v", slot, m["ntc_fleet_cross_dc_migrations"], want.crossDC)
+					return
+				}
+				// Counter reconciliation holds on EVERY page because
+				// what-if counters commit as one transaction.
+				if m["ntc_whatif_scenarios"] != m["ntc_whatif_executed"]+m["ntc_whatif_cache_hits"] {
+					fail("whatif counters torn: scenarios=%v executed=%v hits=%v",
+						m["ntc_whatif_scenarios"], m["ntc_whatif_executed"], m["ntc_whatif_cache_hits"])
+					return
+				}
+				// Nothing after the cold warm-up may execute.
+				if m["ntc_whatif_executed"] != 4 {
+					fail("executed grew past the warm-up: %v", m["ntc_whatif_executed"])
+					return
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < whatifClients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < whatifsEach; i++ {
+				wr, err := postWhatIf()
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				if wr.Executed != 0 || wr.CacheHits != wr.Scenarios {
+					fail("warm what-if executed %d of %d scenarios", wr.Executed, wr.Scenarios)
+					return
+				}
+				for _, row := range wr.Rows {
+					if row.Err != "" {
+						fail("what-if row failed: %s", row.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiescent reconciliation: the store's traffic must match the
+	// what-if accounting exactly — every hit was a what-if cache hit,
+	// every miss executed, every execution was written back.
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := parseMetrics(t, buf.String())
+	if m["ntc_slot"] != float64(slots) || m["ntc_done"] != 1 {
+		t.Fatalf("replay did not finish: slot=%v done=%v", m["ntc_slot"], m["ntc_done"])
+	}
+	wantHits := float64(whatifClients * whatifsEach * 4)
+	if m["ntc_whatif_cache_hits"] != wantHits {
+		t.Fatalf("ntc_whatif_cache_hits = %v, want %v", m["ntc_whatif_cache_hits"], wantHits)
+	}
+	st := store.Stats()
+	if float64(st.Hits) != m["ntc_whatif_cache_hits"] {
+		t.Fatalf("store hits %d != what-if cache hits %v", st.Hits, m["ntc_whatif_cache_hits"])
+	}
+	if float64(st.Misses) != m["ntc_whatif_executed"] {
+		t.Fatalf("store misses %d != what-if executions %v", st.Misses, m["ntc_whatif_executed"])
+	}
+	if st.Writes != st.Misses {
+		t.Fatalf("store writes %d != misses %d (executions not persisted?)", st.Writes, st.Misses)
+	}
+	if m["ntc_cache_hits"] != float64(st.Hits) || m["ntc_cache_misses"] != float64(st.Misses) || m["ntc_cache_writes"] != float64(st.Writes) {
+		t.Fatalf("cache gauges drifted from store stats: page hits=%v misses=%v writes=%v, store %+v",
+			m["ntc_cache_hits"], m["ntc_cache_misses"], m["ntc_cache_writes"], st)
+	}
+	if m["ntc_whatif_requests"] != float64(1+whatifClients*whatifsEach) {
+		t.Fatalf("ntc_whatif_requests = %v, want %d", m["ntc_whatif_requests"], 1+whatifClients*whatifsEach)
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sweep"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// WhatIfRequest is a scenario delta: per-axis value lists that
+// replace the base grid's axes. Empty axes keep the base value, so
+// the empty request asks about exactly the live scenario. The horizon
+// (history/eval days) is not part of the delta — what-ifs answer
+// "same workload, different knobs", which is also what keeps every
+// answer addressable in the result cache.
+type WhatIfRequest struct {
+	Policies     []string  `json:"policies,omitempty"`
+	VMs          []int     `json:"vms,omitempty"`
+	MaxServers   []int     `json:"max_servers,omitempty"`
+	Seeds        []int64   `json:"seeds,omitempty"`
+	StaticPowerW []float64 `json:"static_power_w,omitempty"`
+	Predictors   []string  `json:"predictors,omitempty"`
+	Transitions  []string  `json:"transitions,omitempty"`
+	Topologies   []string  `json:"topologies,omitempty"`
+	Rebalances   []string  `json:"rebalances,omitempty"`
+}
+
+// WhatIfResponse is the answer: one sweep row per scenario of the
+// delta grid, in expansion order, plus the execution accounting the
+// acceptance contract pins (a warm cache answers with Executed 0).
+type WhatIfResponse struct {
+	// Slot is the live replay's completed-slot count when the answer
+	// was computed (what-ifs always cover the full horizon; Slot just
+	// timestamps the answer against the live run).
+	Slot int `json:"slot"`
+
+	Scenarios int `json:"scenarios"`
+	Executed  int `json:"executed"`
+	CacheHits int `json:"cache_hits"`
+
+	Rows []sweep.RunResult `json:"rows"`
+}
+
+// decodeWhatIf parses and validates a what-if body against the base
+// grid, returning the delta grid's scenario list. Every rejection
+// happens before any scenario executes — the hermeticity and resource
+// gates mirror the dist protocol's fuzz-pinned ones:
+//
+//   - unknown fields and malformed JSON are rejected (typo safety);
+//   - axis values must validate against the sweep registries;
+//   - no file-backed inputs: a request naming filesystem paths (trace
+//     files, fleet JSON) would make the service read arbitrary local
+//     files on behalf of a remote caller;
+//   - the axis product is bounded BEFORE expansion, and VM counts are
+//     bounded, so a crafted request cannot balloon memory or lease an
+//     unbounded sweep.
+func decodeWhatIf(body []byte, base sweep.Grid, maxScenarios, maxVMs int) ([]sweep.Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req WhatIfRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: parsing what-if request: %w", err)
+	}
+	// A second JSON value after the request object is a smuggling
+	// attempt or a concatenation bug; either way, reject loudly.
+	if dec.More() {
+		return nil, fmt.Errorf("serve: what-if request has trailing data after the JSON object")
+	}
+
+	// Bound the axis product before expanding anything. Unset axes
+	// inherit the base grid's (already size-1) values.
+	prod := 1
+	for _, n := range []int{
+		len(req.Policies), len(req.VMs), len(req.MaxServers), len(req.Seeds),
+		len(req.StaticPowerW), len(req.Predictors), len(req.Transitions),
+		len(req.Topologies), len(req.Rebalances),
+	} {
+		if n > 1 {
+			prod *= n
+		}
+		if prod > maxScenarios {
+			return nil, fmt.Errorf("serve: what-if axis product exceeds the %d-scenario bound", maxScenarios)
+		}
+	}
+	for _, v := range req.VMs {
+		if v > maxVMs {
+			return nil, fmt.Errorf("serve: what-if vms %d exceeds the %d-VM bound", v, maxVMs)
+		}
+	}
+
+	// Hermeticity: no file-backed fleets. (The trace axis is not part
+	// of the delta surface at all — the base trace is the workload the
+	// question is about — but the base grid's own spec is re-checked
+	// below for defence in depth.)
+	for _, spec := range req.Topologies {
+		s, err := topology.ParseSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if s.IsFile {
+			return nil, fmt.Errorf("serve: what-if topology %q names a fleet file; only built-in fleets are allowed", spec)
+		}
+	}
+	for _, spec := range base.Traces {
+		src, err := trace.ParseSourceSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		switch src.(type) {
+		case trace.CSVSource, trace.ClusterSource:
+			return nil, fmt.Errorf("serve: what-if over the file-backed base trace %q is not supported", spec)
+		}
+	}
+
+	g := base
+	if len(req.Policies) > 0 {
+		g.Policies = req.Policies
+	}
+	if len(req.VMs) > 0 {
+		g.VMs = req.VMs
+	}
+	if len(req.MaxServers) > 0 {
+		g.MaxServers = req.MaxServers
+	}
+	if len(req.Seeds) > 0 {
+		g.Seeds = req.Seeds
+	}
+	if len(req.StaticPowerW) > 0 {
+		g.StaticPowerW = req.StaticPowerW
+	}
+	if len(req.Predictors) > 0 {
+		g.Predictors = req.Predictors
+	}
+	if len(req.Transitions) > 0 {
+		// Names only: a what-if cannot define new transition models,
+		// it selects registered ones (or the base grid's named ones,
+		// which the runner resolves by name).
+		specs := make([]sweep.TransitionSpec, len(req.Transitions))
+		for i, name := range req.Transitions {
+			specs[i] = sweep.TransitionSpec{Name: name}
+		}
+		g.Transitions = specs
+	}
+	if len(req.Topologies) > 0 {
+		g.Topologies = req.Topologies
+	}
+	if len(req.Rebalances) > 0 {
+		g.Rebalances = req.Rebalances
+	}
+
+	// Expand validates every axis value against the registries; the
+	// product is already bounded, so this cannot balloon.
+	scens, err := sweep.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(scens) > maxScenarios {
+		return nil, fmt.Errorf("serve: what-if expands to %d scenarios, bound is %d", len(scens), maxScenarios)
+	}
+	return scens, nil
+}
+
+// whatIf answers one decoded what-if: each scenario is answered from
+// the result store when possible and executed under the server's
+// execution lease otherwise. The counters commit as one transaction
+// after the request completes.
+func (s *Server) whatIf(scens []sweep.Scenario) *WhatIfResponse {
+	rows := make([]sweep.RunResult, len(scens))
+	for i, sc := range scens {
+		// The lease bounds concurrent executions across all in-flight
+		// requests; cache hits pass through it quickly.
+		s.sem <- struct{}{}
+		// Store write failures are non-fatal (the row is complete
+		// either way) and surface in the cache-stats gauges.
+		rows[i] = s.runner.CachedExec(sc, s.store, func(error) {})
+		<-s.sem
+	}
+	resp := &WhatIfResponse{Slot: s.Snapshot().Slot, Scenarios: len(rows), Rows: rows}
+	for i := range rows {
+		if rows[i].Cached {
+			resp.CacheHits++
+		} else {
+			resp.Executed++
+		}
+	}
+
+	s.wmu.Lock()
+	s.wst.requests++
+	s.wst.scenarios += int64(resp.Scenarios)
+	s.wst.executed += int64(resp.Executed)
+	s.wst.cacheHits += int64(resp.CacheHits)
+	s.wmu.Unlock()
+	return resp
+}

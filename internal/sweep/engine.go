@@ -299,17 +299,14 @@ func cachedScenario(ld *loader, g Grid, s Scenario, store *cache.Store, onPutErr
 	return r
 }
 
-// runScenario executes one grid point. All shared inputs come from
-// the loader (published read-only); everything mutable — policy,
-// server model, platform — is built fresh here, which is what makes
-// concurrent scenarios independent.
-func runScenario(ld *loader, g Grid, s Scenario) RunResult {
-	out := RunResult{Scenario: s}
-	fail := func(err error) RunResult {
-		out.Err = err.Error()
-		return out
-	}
-
+// fleetConfig resolves one scenario's shared inputs through the
+// loader and assembles the topology.Config it runs, plus the churn
+// pass's affected-VM count (execution provenance the config cannot
+// carry). It is the shared front half of runScenario and of the live
+// service's incremental path (Runner.StepperConfig): both must build
+// the identical config, or stepping a scenario would diverge from
+// sweeping it.
+func fleetConfig(ld *loader, g Grid, s Scenario) (topology.Config, int, error) {
 	tk := traceKey{
 		spec:      s.TraceSpec,
 		seed:      s.Seed,
@@ -325,7 +322,7 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 	}
 	tp, err := ld.trace(tk)
 	if err != nil {
-		return fail(err)
+		return topology.Config{}, 0, err
 	}
 	ps, err := ld.predictions(predKey{
 		tk:          tk,
@@ -334,27 +331,23 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		evalDays:    s.EvalDays,
 	}, tp.tr)
 	if err != nil {
-		return fail(err)
+		return topology.Config{}, 0, err
 	}
 
 	fleet, err := ld.fleet(s.Topology)
 	if err != nil {
-		return fail(err)
+		return topology.Config{}, 0, err
 	}
 	reb, err := ld.rebalance(s.Rebalance)
 	if err != nil {
-		return fail(err)
+		return topology.Config{}, 0, err
 	}
 	transitions, err := g.transitionFor(s.Transitions)
 	if err != nil {
-		return fail(err)
+		return topology.Config{}, 0, err
 	}
 
-	// Every scenario runs through the fleet runner; the default
-	// "single" topology is the identity (one DC, PUE 1, the whole
-	// pool), so its rows match the plain simulation bit-for-bit —
-	// under any rebalance spec, since one DC has nothing to rebalance.
-	fres, err := topology.Run(topology.Config{
+	return topology.Config{
 		Fleet:        fleet,
 		Trace:        tp.tr,
 		Predictions:  ps,
@@ -369,13 +362,36 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 		TraceLabel:               s.TraceSpec,
 		Rebalance:                reb,
 		MigrationDowntimeSamples: topology.DefaultMigrationDowntimeSamples,
-	})
+	}, tp.affected, nil
+}
+
+// runScenario executes one grid point. All shared inputs come from
+// the loader (published read-only); everything mutable — policy,
+// server model, platform — is built fresh here, which is what makes
+// concurrent scenarios independent.
+func runScenario(ld *loader, g Grid, s Scenario) RunResult {
+	out := RunResult{Scenario: s}
+	fail := func(err error) RunResult {
+		out.Err = err.Error()
+		return out
+	}
+
+	cfg, affected, err := fleetConfig(ld, g, s)
 	if err != nil {
 		return fail(err)
 	}
 
-	out.PredictorImpl = ps.Predictor
-	out.ChurnAffectedVMs = tp.affected
+	// Every scenario runs through the fleet runner; the default
+	// "single" topology is the identity (one DC, PUE 1, the whole
+	// pool), so its rows match the plain simulation bit-for-bit —
+	// under any rebalance spec, since one DC has nothing to rebalance.
+	fres, err := topology.Run(cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	out.PredictorImpl = cfg.Predictions.Predictor
+	out.ChurnAffectedVMs = affected
 	out.TotalEnergyMJ = fres.TotalEnergyMJ
 	out.TransitionMJ = fres.TransitionMJ
 	out.Violations = fres.Violations

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/sweep/cache"
+	"repro/internal/topology"
 )
 
 // Runner is the per-process execution core of the sweep engine: it
@@ -44,6 +45,18 @@ func (r *Runner) SetBlobSource(b BlobSource) { r.ld.blobs = b }
 // Exec runs one scenario. Failures are recorded in the row's Err
 // field, never returned — the sweep contract is one row per scenario.
 func (r *Runner) Exec(s Scenario) RunResult { return runScenario(r.ld, r.grid, s) }
+
+// StepperConfig resolves one scenario into the topology.Config it
+// executes — shared inputs (trace, predictions, fleet) through the
+// Runner's memoized loader, the transition model against the Runner's
+// grid — without running it. A live service hands the config to
+// topology.NewStepper to advance the scenario slot by slot; it is the
+// exact config Exec would run, so the stepped series concatenates
+// bit-for-bit to the sweep row's aggregates.
+func (r *Runner) StepperConfig(s Scenario) (topology.Config, error) {
+	cfg, _, err := fleetConfig(r.ld, r.grid, s)
+	return cfg, err
+}
 
 // CachedExec answers the scenario from the result store when it can,
 // executing and persisting it otherwise (see Options.Cache). onPutErr,

@@ -5,11 +5,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/dcsim"
 	"repro/internal/platform"
 	"repro/internal/power"
-	"repro/internal/trace"
-	"repro/internal/units"
 )
 
 // The epoch rebalancer turns cross-DC dispatch from a one-shot static
@@ -106,231 +103,10 @@ func ParseRebalanceSpec(spec string) (RebalanceSpec, error) {
 	return RebalanceSpec{EverySlots: n, Dispatcher: disp}, nil
 }
 
-// runRebalanced is Run's epoch-rebalancing path: the fleet is already
-// resolved, static-power-materialised and validated, and has at least
-// two datacenters (a single DC has nothing to rebalance, so `single`
-// stays the bit-exact identity).
-//
-// Per epoch of Rebalance.EverySlots slots it re-runs dispatch over
-// the history plus every evaluation sample already replayed — the
-// load an operator has actually observed — then simulates each DC's
-// window through dcsim unchanged. Epoch boundaries carry state
-// across: each DC's power-on/off accounting resumes from its previous
-// active-server count (dcsim.Config.InitialActiveServers), while
-// allocator instances restart fresh (a re-dispatch is a global
-// re-plan, and per-DC VM index sets change with the assignment).
-//
-// Every VM whose DC changes is a cross-DC migration: its resident set
-// at the boundary sample is priced through
-// Transitions.MigrationEnergyPerByte (charged to the destination DC's
-// first epoch slot, PUE-weighted into facility energy and the
-// transition share) and it serves MigrationDowntimeSamples of
-// downtime, charged as QoS violation-samples at the destination —
-// raw and latency-weighted.
-//
-// A deliberate accounting boundary: *within-DC* server moves are
-// counted and priced inside each epoch (dcsim's slot-to-slot diff),
-// but NOT across the boundary slot itself — the re-dispatch is a
-// global re-plan whose per-DC VM index sets change, so there is no
-// well-defined "previous server" for the first slot of an epoch.
-// Across that boundary only the power-on/off delta
-// (InitialActiveServers) and the cross-DC moves above are billed;
-// with epoch:N, one boundary in every N slots skips its within-DC
-// migration stats. Compare rebalanced transition_mj against static
-// rows with this in mind.
-func runRebalanced(cfg Config, fleet Fleet) (*FleetResult, error) {
-	totalSlots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
-	histSamples := cfg.HistoryDays * trace.SamplesPerDay
-	every := cfg.Rebalance.EverySlots
-	downtime := cfg.MigrationDowntimeSamples
-	if downtime < 0 {
-		downtime = 0
-	}
-
-	// The dispatcher override applies at rebalancing epochs only; the
-	// initial placement stays the fleet's own static dispatch (see
-	// RebalanceSpec.Dispatcher).
-	rebFleet := fleet
-	if cfg.Rebalance.Dispatcher != "" {
-		rebFleet.Dispatcher = cfg.Rebalance.Dispatcher
-	}
-
-	res := &FleetResult{Fleet: fleet, DCs: make([]DCRun, len(fleet.DCs)), Slots: totalSlots}
-	res.SlotEnergyMJ = make([]float64, totalSlots)
-	dcSlotMJ := make([][]float64, len(fleet.DCs))
-	activePerSlot := make([]int, totalSlots)
-	dcActiveSum := make([]int, len(fleet.DCs))
-
-	// Models and platforms are per-DC constants; policies are rebuilt
-	// per epoch (stateful, and their VM universe changes).
-	models := make([]*serverModels, len(fleet.DCs))
-	for i, dc := range fleet.DCs {
-		res.DCs[i].Spec = dc
-		dcSlotMJ[i] = make([]float64, totalSlots)
-		m, p, err := dc.serverPlatform()
-		if err != nil {
-			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-		}
-		models[i] = &serverModels{model: m, plat: p}
-	}
-
-	var (
-		prevDC       []int // VM index -> DC index of the previous epoch
-		prevActive   = make([]int, len(fleet.DCs))
-		freqWeighted float64
-		vmSlotTotal  float64
-	)
-	for e0 := 0; e0 < totalSlots; e0 += every {
-		n := every
-		if e0+n > totalSlots {
-			n = totalSlots - e0
-		}
-		// Observe history plus the evaluation samples already replayed.
-		observed := histSamples + e0*trace.SamplesPerSlot
-		df := rebFleet
-		if e0 == 0 {
-			df = fleet // initial placement: the fleet's own dispatcher
-		}
-		asg, err := Dispatch(df, cfg.Trace, observed)
-		if err != nil {
-			return nil, err
-		}
-		nextDC := make([]int, len(cfg.Trace.VMs))
-		for d, idxs := range asg {
-			for _, v := range idxs {
-				nextDC[v] = d
-			}
-		}
-
-		// Price the moves this re-dispatch caused.
-		if prevDC != nil {
-			for v := range nextDC {
-				if prevDC[v] == nextDC[v] {
-					continue
-				}
-				dst := nextDC[v]
-				run := &res.DCs[dst]
-				res.CrossDCMigrations++
-				run.CrossDCMigrations++
-
-				// Memory copy of the live migration: the VM's resident
-				// set at the boundary sample, at the configured energy
-				// per byte, lands in the destination's first epoch slot.
-				bytes := cfg.Trace.VMs[v].Mem[observed] / 100 * float64(1<<30)
-				mj := units.Energy(float64(cfg.Transitions.MigrationEnergyPerByte) * bytes).MJ()
-				run.ITEnergyMJ += mj
-				facility := mj * run.Spec.PUE
-				run.EnergyMJ += facility
-				res.TotalEnergyMJ += facility
-				res.TransitionMJ += facility
-				dcSlotMJ[dst][e0] += facility
-				res.SlotEnergyMJ[e0] += facility
-
-				// Downtime: the VM is unavailable while it moves.
-				run.Violations += downtime
-				res.Violations += downtime
-				w := float64(downtime) * latencyWeight(run.Spec.LatencyMs)
-				run.LatencyWeightedViol += w
-				res.LatencyWeightedViol += w
-			}
-		}
-		prevDC = nextDC
-
-		for i, dc := range fleet.DCs {
-			run := &res.DCs[i]
-			run.VMs = len(asg[i]) // the final epoch's count survives
-			if len(asg[i]) == 0 {
-				// A drained DC powers its servers down.
-				if prevActive[i] > 0 {
-					off := units.Energy(float64(cfg.Transitions.ServerOffEnergy) * float64(prevActive[i])).MJ()
-					run.ITEnergyMJ += off
-					facility := off * dc.PUE
-					run.EnergyMJ += facility
-					res.TotalEnergyMJ += facility
-					res.TransitionMJ += facility
-					dcSlotMJ[i][e0] += facility
-					res.SlotEnergyMJ[e0] += facility
-				}
-				prevActive[i] = 0
-				continue
-			}
-			pol, err := cfg.NewPolicy(models[i].model)
-			if err != nil {
-				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-			}
-			sim, err := dcsim.Run(dcsim.Config{
-				Trace:                subTrace(cfg.Trace, asg[i]),
-				Predictions:          subPredictions(cfg.Predictions, asg[i]),
-				HistoryDays:          cfg.HistoryDays,
-				EvalDays:             cfg.EvalDays,
-				StartSlot:            e0,
-				NumSlots:             n,
-				InitialActiveServers: prevActive[i],
-				Policy:               pol,
-				Server:               models[i].model,
-				Platform:             models[i].plat,
-				MaxServers:           dc.Servers,
-				Transitions:          cfg.Transitions,
-				TraceLabel:           cfg.TraceLabel,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-			}
-			run.ITEnergyMJ += sim.TotalEnergy.MJ()
-			facility := sim.TotalEnergy.MJ() * dc.PUE
-			run.EnergyMJ += facility
-			res.TotalEnergyMJ += facility
-			res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
-			run.Violations += sim.TotalViol
-			res.Violations += sim.TotalViol
-			w := float64(sim.TotalViol) * latencyWeight(dc.LatencyMs)
-			run.LatencyWeightedViol += w
-			res.LatencyWeightedViol += w
-			run.Migrations += sim.TotalMigrations
-			res.Migrations += sim.TotalMigrations
-			for _, s := range sim.Slots {
-				mj := s.Energy.MJ() * dc.PUE
-				dcSlotMJ[i][s.Slot] += mj
-				res.SlotEnergyMJ[s.Slot] += mj
-				activePerSlot[s.Slot] += s.ActiveServers
-				dcActiveSum[i] += s.ActiveServers
-				if s.ActiveServers > run.PeakActive {
-					run.PeakActive = s.ActiveServers
-				}
-			}
-			prevActive[i] = sim.Slots[len(sim.Slots)-1].ActiveServers
-			freqWeighted += sim.MeanPlannedFreqGHz() * float64(len(asg[i])*n)
-			vmSlotTotal += float64(len(asg[i]) * n)
-		}
-	}
-
-	// Aggregate the stitched series the same way the static path does.
-	activeSum := 0
-	for _, a := range activePerSlot {
-		activeSum += a
-		if a > res.PeakActive {
-			res.PeakActive = a
-		}
-	}
-	if totalSlots > 0 {
-		res.MeanActive = float64(activeSum) / float64(totalSlots)
-	}
-	for i := range res.DCs {
-		if totalSlots > 0 {
-			res.DCs[i].MeanActive = float64(dcActiveSum[i]) / float64(totalSlots)
-		}
-		// A DC that never burned anything reports EPScore 0, matching
-		// the static path's "no series" convention for empty DCs.
-		if res.DCs[i].ITEnergyMJ > 0 {
-			res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ[i])
-		}
-	}
-	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
-	if vmSlotTotal > 0 {
-		res.MeanPlannedFreqGHz = freqWeighted / vmSlotTotal
-	}
-	return res, nil
-}
+// The epoch-rebalancing path itself lives in stepper.go (rebState):
+// Run's rebalanced branch is the fleet Stepper driven to exhaustion,
+// which keeps the batch result and the live slot-by-slot view one
+// code path instead of two accounting implementations to reconcile.
 
 // serverModels pairs one DC's power model with its platform.
 type serverModels struct {

@@ -1,8 +1,6 @@
 package topology
 
 import (
-	"fmt"
-
 	"repro/internal/alloc"
 	"repro/internal/dcsim"
 	"repro/internal/power"
@@ -207,130 +205,19 @@ func subPredictions(ps *dcsim.PredictionSet, idxs []int) *dcsim.PredictionSet {
 // datacenter simulation bit-for-bit — the degenerate "single"
 // topology is the identity, which is what lets the sweep engine route
 // every scenario through here without perturbing existing results.
+//
+// Run is a Stepper (stepper.go) driven to exhaustion, so a live
+// service ticking the same Config one slot at a time computes the
+// identical result.
 func Run(cfg Config) (*FleetResult, error) {
-	if cfg.Trace == nil {
-		return nil, fmt.Errorf("topology: nil trace")
-	}
-	if cfg.Predictions == nil {
-		return nil, fmt.Errorf("topology: nil predictions")
-	}
-	if cfg.NewPolicy == nil {
-		return nil, fmt.Errorf("topology: nil policy factory")
-	}
-	fleet := cfg.Fleet.Resolve(cfg.MaxServers)
-	if err := fleet.Validate(); err != nil {
-		return nil, err
-	}
-	// Materialise the scenario's static-power default into the
-	// resolved specs so dispatchers that rank by hardware
-	// proportionality see each DC's effective platform cost. A DC
-	// whose spec explicitly wrote the value — including an explicit
-	// zero (StaticPowerSet) — keeps its own.
-	for i := range fleet.DCs {
-		if fleet.DCs[i].StaticPowerW == 0 && !fleet.DCs[i].StaticPowerSet {
-			fleet.DCs[i].StaticPowerW = cfg.StaticPowerW
-		}
-	}
-	if cfg.Rebalance.Enabled() && len(fleet.DCs) > 1 {
-		return runRebalanced(cfg, fleet)
-	}
-	// Load-aware dispatch may observe the history window only.
-	asg, err := Dispatch(fleet, cfg.Trace, cfg.HistoryDays*trace.SamplesPerDay)
+	st, err := NewStepper(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &FleetResult{Fleet: fleet, DCs: make([]DCRun, len(fleet.DCs))}
-	var freqWeighted, vmTotal float64
-	for i, dc := range fleet.DCs {
-		run := &res.DCs[i]
-		run.Spec = dc
-		run.VMs = len(asg[i])
-		if run.VMs == 0 {
-			continue
-		}
-		// The resolved spec already carries the effective static power
-		// (per-DC override or the scenario default).
-		model, plat, err := dc.serverPlatform()
-		if err != nil {
-			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-		}
-		pol, err := cfg.NewPolicy(model)
-		if err != nil {
-			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-		}
-		sim, err := dcsim.Run(dcsim.Config{
-			Trace:       subTrace(cfg.Trace, asg[i]),
-			Predictions: subPredictions(cfg.Predictions, asg[i]),
-			HistoryDays: cfg.HistoryDays,
-			EvalDays:    cfg.EvalDays,
-			Policy:      pol,
-			Server:      model,
-			Platform:    plat,
-			MaxServers:  dc.Servers,
-			Transitions: cfg.Transitions,
-			TraceLabel:  cfg.TraceLabel,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
-		}
-		run.Result = sim
-		run.ITEnergyMJ = sim.TotalEnergy.MJ()
-		run.EnergyMJ = run.ITEnergyMJ * dc.PUE
-		run.Violations = sim.TotalViol
-		run.MeanActive = sim.MeanActive
-		run.PeakActive = sim.PeakActive
-		run.Migrations = sim.TotalMigrations
-		run.LatencyWeightedViol = float64(run.Violations) * latencyWeight(dc.LatencyMs)
-
-		res.TotalEnergyMJ += run.EnergyMJ
-		res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
-		res.Violations += run.Violations
-		res.Migrations += run.Migrations
-		res.LatencyWeightedViol += run.LatencyWeightedViol
-		if len(sim.Slots) > res.Slots {
-			res.Slots = len(sim.Slots)
-		}
-		freqWeighted += sim.MeanPlannedFreqGHz() * float64(run.VMs)
-		vmTotal += float64(run.VMs)
-	}
-
-	// Fleet per-slot series: facility energy and summed active servers.
-	res.SlotEnergyMJ = make([]float64, res.Slots)
-	activePerSlot := make([]int, res.Slots)
-	for i := range res.DCs {
-		sim := res.DCs[i].Result
-		if sim == nil {
-			continue
-		}
-		dcSlotMJ := make([]float64, len(sim.Slots))
-		for t, s := range sim.Slots {
-			mj := s.Energy.MJ() * res.DCs[i].Spec.PUE
-			dcSlotMJ[t] = mj
-			res.SlotEnergyMJ[t] += mj
-			activePerSlot[t] += s.ActiveServers
-		}
-		res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ)
-	}
-	activeSum := 0
-	for _, a := range activePerSlot {
-		activeSum += a
-		if a > res.PeakActive {
-			res.PeakActive = a
+	for !st.Done() {
+		if _, err := st.Step(); err != nil {
+			return nil, err
 		}
 	}
-	if res.Slots > 0 {
-		res.MeanActive = float64(activeSum) / float64(res.Slots)
-	}
-	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
-	if len(res.DCs) == 1 {
-		// Bit-exact identity with the single-datacenter path: avoid
-		// the weighted-mean round trip when there is nothing to weigh.
-		if sim := res.DCs[0].Result; sim != nil {
-			res.MeanPlannedFreqGHz = sim.MeanPlannedFreqGHz()
-		}
-	} else if vmTotal > 0 {
-		res.MeanPlannedFreqGHz = freqWeighted / vmTotal
-	}
-	return res, nil
+	return st.Result()
 }

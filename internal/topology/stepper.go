@@ -1,0 +1,702 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/dcsim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// DCSlotStep is one datacenter's contribution to a fleet slot: the
+// live view a monitoring daemon exports per tick. At an epoch
+// boundary it folds in the boundary charges billed to that slot —
+// cross-DC migration energy, downtime violations, drained-DC
+// power-off energy — so summing a DC's steps reproduces that DC's
+// batch totals.
+type DCSlotStep struct {
+	// Name is the DC's resolved spec name.
+	Name string
+
+	// VMs is how many VMs the dispatcher currently places here.
+	VMs int
+
+	// EnergyMJ is the facility energy (IT × PUE) charged to this DC
+	// at this slot, boundary charges included. Summed across DCs (and
+	// the fleet-level SlotStep.EnergyMJ) it is bit-exact with the
+	// batch FleetResult.SlotEnergyMJ series.
+	EnergyMJ float64
+
+	// ActiveServers is the DC's powered-on count this slot (0 while
+	// drained).
+	ActiveServers int
+
+	// Violations counts this slot's QoS violation-samples, migration
+	// downtime included at epoch boundaries.
+	Violations int
+
+	// LatencyWeightedViol is Violations scaled by the DC's WAN
+	// distance (LatencyMs / WANLatencyRefMs).
+	LatencyWeightedViol float64
+
+	// Migrations counts within-DC server moves entering this slot.
+	Migrations int
+
+	// CrossDCMigrations counts VMs the rebalancer moved INTO this DC
+	// at this boundary (0 off-boundary and under static dispatch).
+	CrossDCMigrations int
+}
+
+// SlotStep is one fleet slot of a live run: the fleet-level sums plus
+// the per-DC breakdown, in fleet spec order.
+type SlotStep struct {
+	// Slot is the evaluation-period slot index (1 slot = 1 hour).
+	Slot int
+
+	// EnergyMJ is the fleet facility energy charged to this slot. It
+	// is accumulated in the batch path's addition order, so it is
+	// bit-exact with FleetResult.SlotEnergyMJ[Slot].
+	EnergyMJ float64
+
+	ActiveServers       int
+	Violations          int
+	LatencyWeightedViol float64
+	Migrations          int
+	CrossDCMigrations   int
+
+	// DCs is the per-datacenter breakdown, in fleet spec order.
+	DCs []DCSlotStep
+}
+
+// Stepper advances a fleet run one slot at a time. It is the
+// incremental primitive behind Run — Run is a Stepper driven to
+// exhaustion — so a daemon ticking a Stepper computes bit-for-bit the
+// result a batch run would: the per-DC dcsim run state is shared
+// across steps (dcsim.Stepper), the rebalancer's epoch machinery
+// opens and closes epochs at the same boundaries with the same
+// carried power-on state, and every floating-point accumulation
+// happens in the batch path's order.
+//
+// A Stepper is not safe for concurrent use; callers serialise Step
+// (the live service steps under its own lock). A Step or Result error
+// poisons the stepper — slots cannot be retried, because the carried
+// state has already advanced.
+type Stepper struct {
+	cfg        Config
+	fleet      Fleet
+	totalSlots int
+	next       int
+	res        *FleetResult
+
+	// Exactly one of static/reb is non-nil.
+	static *staticState
+	reb    *rebState
+}
+
+// NewStepper validates cfg, resolves the fleet and builds the per-DC
+// simulation state without simulating any slot. Configuration errors
+// a batch Run would report mid-run (bad platform, policy factory
+// failure, invalid dcsim window) surface here instead.
+func NewStepper(cfg Config) (*Stepper, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("topology: nil trace")
+	}
+	if cfg.Predictions == nil {
+		return nil, fmt.Errorf("topology: nil predictions")
+	}
+	if cfg.NewPolicy == nil {
+		return nil, fmt.Errorf("topology: nil policy factory")
+	}
+	fleet := cfg.Fleet.Resolve(cfg.MaxServers)
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	// Materialise the scenario's static-power default into the
+	// resolved specs so dispatchers that rank by hardware
+	// proportionality see each DC's effective platform cost. A DC
+	// whose spec explicitly wrote the value — including an explicit
+	// zero (StaticPowerSet) — keeps its own.
+	for i := range fleet.DCs {
+		if fleet.DCs[i].StaticPowerW == 0 && !fleet.DCs[i].StaticPowerSet {
+			fleet.DCs[i].StaticPowerW = cfg.StaticPowerW
+		}
+	}
+	st := &Stepper{cfg: cfg, fleet: fleet}
+	if cfg.Rebalance.Enabled() && len(fleet.DCs) > 1 {
+		if err := st.initRebalanced(); err != nil {
+			return nil, err
+		}
+	} else if err := st.initStatic(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Fleet returns the resolved fleet (absolute server counts, defaults
+// and the scenario static-power override filled in). Read-only.
+func (st *Stepper) Fleet() Fleet { return st.fleet }
+
+// Slots returns how many evaluation slots the run spans.
+func (st *Stepper) Slots() int { return st.totalSlots }
+
+// Done reports whether every slot has been stepped.
+func (st *Stepper) Done() bool { return st.next >= st.totalSlots }
+
+// Step simulates the next fleet slot and returns its live view.
+func (st *Stepper) Step() (SlotStep, error) {
+	if st.Done() {
+		return SlotStep{}, fmt.Errorf("topology: stepper exhausted: all %d slots stepped", st.totalSlots)
+	}
+	if st.reb != nil {
+		return st.stepRebalanced()
+	}
+	return st.stepStatic()
+}
+
+// Result aggregates the finished run into the FleetResult a batch Run
+// of the same Config returns, bit for bit. It errors until Done;
+// afterwards it is idempotent.
+func (st *Stepper) Result() (*FleetResult, error) {
+	if !st.Done() {
+		return nil, fmt.Errorf("topology: stepper not done: %d of %d slots stepped", st.next, st.totalSlots)
+	}
+	if st.res == nil {
+		if st.reb != nil {
+			st.reb.closeEpoch(st)
+			st.res = st.reb.finish(st)
+		} else {
+			st.res = st.staticResult()
+		}
+	}
+	return st.res, nil
+}
+
+// staticState is the one-shot-dispatch path: one dcsim stepper per
+// non-empty DC spanning the whole evaluation period, exactly the runs
+// the batch static path performs.
+type staticState struct {
+	asg  [][]int
+	sims []*dcsim.Stepper // nil for DCs the dispatcher left empty
+}
+
+func (st *Stepper) initStatic() error {
+	cfg, fleet := &st.cfg, st.fleet
+	// Load-aware dispatch may observe the history window only.
+	asg, err := Dispatch(fleet, cfg.Trace, cfg.HistoryDays*trace.SamplesPerDay)
+	if err != nil {
+		return err
+	}
+	ss := &staticState{asg: asg, sims: make([]*dcsim.Stepper, len(fleet.DCs))}
+	for i, dc := range fleet.DCs {
+		if len(asg[i]) == 0 {
+			continue
+		}
+		// The resolved spec already carries the effective static power
+		// (per-DC override or the scenario default).
+		model, plat, err := dc.serverPlatform()
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		pol, err := cfg.NewPolicy(model)
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		sim, err := dcsim.NewStepper(dcsim.Config{
+			Trace:       subTrace(cfg.Trace, asg[i]),
+			Predictions: subPredictions(cfg.Predictions, asg[i]),
+			HistoryDays: cfg.HistoryDays,
+			EvalDays:    cfg.EvalDays,
+			Policy:      pol,
+			Server:      model,
+			Platform:    plat,
+			MaxServers:  dc.Servers,
+			Transitions: cfg.Transitions,
+			TraceLabel:  cfg.TraceLabel,
+		})
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		ss.sims[i] = sim
+		if sim.Slots() > st.totalSlots {
+			st.totalSlots = sim.Slots()
+		}
+	}
+	st.static = ss
+	return nil
+}
+
+func (st *Stepper) stepStatic() (SlotStep, error) {
+	out := SlotStep{Slot: st.next, DCs: make([]DCSlotStep, len(st.fleet.DCs))}
+	for i, dc := range st.fleet.DCs {
+		d := &out.DCs[i]
+		d.Name = dc.Name
+		d.VMs = len(st.static.asg[i])
+		sim := st.static.sims[i]
+		if sim == nil {
+			continue
+		}
+		slot, err := sim.Step()
+		if err != nil {
+			return SlotStep{}, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		d.EnergyMJ = slot.Energy.MJ() * dc.PUE
+		d.ActiveServers = slot.ActiveServers
+		d.Violations = slot.Violations
+		d.LatencyWeightedViol = float64(slot.Violations) * latencyWeight(dc.LatencyMs)
+		d.Migrations = slot.Migrations
+		out.EnergyMJ += d.EnergyMJ
+		out.ActiveServers += d.ActiveServers
+		out.Violations += d.Violations
+		out.LatencyWeightedViol += d.LatencyWeightedViol
+		out.Migrations += d.Migrations
+	}
+	st.next++
+	return out, nil
+}
+
+// staticResult is the batch static path's aggregation, verbatim, over
+// the finished per-DC steppers.
+func (st *Stepper) staticResult() *FleetResult {
+	fleet, asg := st.fleet, st.static.asg
+	res := &FleetResult{Fleet: fleet, DCs: make([]DCRun, len(fleet.DCs))}
+	var freqWeighted, vmTotal float64
+	for i, dc := range fleet.DCs {
+		run := &res.DCs[i]
+		run.Spec = dc
+		run.VMs = len(asg[i])
+		if run.VMs == 0 {
+			continue
+		}
+		sim := st.static.sims[i].Finish()
+		run.Result = sim
+		run.ITEnergyMJ = sim.TotalEnergy.MJ()
+		run.EnergyMJ = run.ITEnergyMJ * dc.PUE
+		run.Violations = sim.TotalViol
+		run.MeanActive = sim.MeanActive
+		run.PeakActive = sim.PeakActive
+		run.Migrations = sim.TotalMigrations
+		run.LatencyWeightedViol = float64(run.Violations) * latencyWeight(dc.LatencyMs)
+
+		res.TotalEnergyMJ += run.EnergyMJ
+		res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
+		res.Violations += run.Violations
+		res.Migrations += run.Migrations
+		res.LatencyWeightedViol += run.LatencyWeightedViol
+		if len(sim.Slots) > res.Slots {
+			res.Slots = len(sim.Slots)
+		}
+		freqWeighted += sim.MeanPlannedFreqGHz() * float64(run.VMs)
+		vmTotal += float64(run.VMs)
+	}
+
+	// Fleet per-slot series: facility energy and summed active servers.
+	res.SlotEnergyMJ = make([]float64, res.Slots)
+	activePerSlot := make([]int, res.Slots)
+	for i := range res.DCs {
+		sim := res.DCs[i].Result
+		if sim == nil {
+			continue
+		}
+		dcSlotMJ := make([]float64, len(sim.Slots))
+		for t, s := range sim.Slots {
+			mj := s.Energy.MJ() * res.DCs[i].Spec.PUE
+			dcSlotMJ[t] = mj
+			res.SlotEnergyMJ[t] += mj
+			activePerSlot[t] += s.ActiveServers
+		}
+		res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ)
+	}
+	activeSum := 0
+	for _, a := range activePerSlot {
+		activeSum += a
+		if a > res.PeakActive {
+			res.PeakActive = a
+		}
+	}
+	if res.Slots > 0 {
+		res.MeanActive = float64(activeSum) / float64(res.Slots)
+	}
+	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
+	if len(res.DCs) == 1 {
+		// Bit-exact identity with the single-datacenter path: avoid
+		// the weighted-mean round trip when there is nothing to weigh.
+		if sim := res.DCs[0].Result; sim != nil {
+			res.MeanPlannedFreqGHz = sim.MeanPlannedFreqGHz()
+		}
+	} else if vmTotal > 0 {
+		res.MeanPlannedFreqGHz = freqWeighted / vmTotal
+	}
+	return res
+}
+
+// rebState is the epoch-rebalancing path, holding what the batch
+// rebalancer kept as loop state. Per epoch of Rebalance.EverySlots
+// slots it re-runs dispatch over the history plus every evaluation
+// sample already replayed — the load an operator has actually
+// observed — then simulates each DC's window via a per-epoch dcsim
+// stepper seeded with the previous epoch's closing active-server
+// count (allocator instances restart fresh: a re-dispatch is a global
+// re-plan, and per-DC VM index sets change with the assignment).
+//
+// Every VM whose DC changes is a cross-DC migration: its resident set
+// at the boundary sample is priced through
+// Transitions.MigrationEnergyPerByte (charged to the destination DC's
+// first epoch slot, PUE-weighted into facility energy and the
+// transition share) and it serves MigrationDowntimeSamples of
+// downtime, charged as QoS violation-samples at the destination —
+// raw and latency-weighted.
+//
+// A deliberate accounting boundary: *within-DC* server moves are
+// counted and priced inside each epoch (dcsim's slot-to-slot diff),
+// but NOT across the boundary slot itself — the re-dispatch is a
+// global re-plan whose per-DC VM index sets change, so there is no
+// well-defined "previous server" for the first slot of an epoch.
+// Across that boundary only the power-on/off delta
+// (InitialActiveServers) and the cross-DC moves above are billed;
+// with epoch:N, one boundary in every N slots skips its within-DC
+// migration stats. Compare rebalanced transition_mj against static
+// rows with this in mind.
+//
+// The accumulation split is what keeps stepping bit-exact with the
+// batch run: openEpoch folds the boundary pricing into the result
+// accumulators (the batch path prices before its DC loop), closeEpoch
+// folds each DC's epoch aggregates in DC index order (the batch DC
+// loop), and nothing else touches the accumulators — so every
+// floating-point addition happens at the batch position in the batch
+// order.
+type rebState struct {
+	rebFleet    Fleet
+	histSamples int
+	every       int
+	downtime    int
+
+	res           *FleetResult
+	dcSlotMJ      [][]float64
+	activePerSlot []int
+	dcActiveSum   []int
+	models        []*serverModels
+	prevDC        []int // VM index -> DC index of the previous epoch
+	prevActive    []int
+	freqWeighted  float64
+	vmSlotTotal   float64
+
+	// The open epoch.
+	open                 bool
+	epochStart, epochEnd int
+	asg                  [][]int
+	sims                 []*dcsim.Stepper // nil for drained DCs
+
+	// Boundary charges of the open epoch, for the boundary SlotStep:
+	// pricing is folded into the accumulators at openEpoch (batch
+	// order), drained-DC power-off at closeEpoch (batch order), and
+	// these buffers let the boundary slot's live view report both.
+	boundFleetMJ float64
+	boundMJ      []float64
+	boundViol    []int
+	boundCross   []int
+	drainIT      []float64 // drained-DC power-off, IT MJ
+	drainFac     []float64 // drained-DC power-off, facility MJ
+}
+
+func (st *Stepper) initRebalanced() error {
+	cfg, fleet := &st.cfg, st.fleet
+	st.totalSlots = cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
+	rb := &rebState{
+		rebFleet:    fleet,
+		histSamples: cfg.HistoryDays * trace.SamplesPerDay,
+		every:       cfg.Rebalance.EverySlots,
+		downtime:    cfg.MigrationDowntimeSamples,
+	}
+	if rb.downtime < 0 {
+		rb.downtime = 0
+	}
+	// The dispatcher override applies at rebalancing epochs only; the
+	// initial placement stays the fleet's own static dispatch (see
+	// RebalanceSpec.Dispatcher).
+	if cfg.Rebalance.Dispatcher != "" {
+		rb.rebFleet.Dispatcher = cfg.Rebalance.Dispatcher
+	}
+	n := len(fleet.DCs)
+	rb.res = &FleetResult{Fleet: fleet, DCs: make([]DCRun, n), Slots: st.totalSlots}
+	rb.res.SlotEnergyMJ = make([]float64, st.totalSlots)
+	rb.dcSlotMJ = make([][]float64, n)
+	rb.activePerSlot = make([]int, st.totalSlots)
+	rb.dcActiveSum = make([]int, n)
+	// Models and platforms are per-DC constants; policies are rebuilt
+	// per epoch (stateful, and their VM universe changes).
+	rb.models = make([]*serverModels, n)
+	for i, dc := range fleet.DCs {
+		rb.res.DCs[i].Spec = dc
+		rb.dcSlotMJ[i] = make([]float64, st.totalSlots)
+		m, p, err := dc.serverPlatform()
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		rb.models[i] = &serverModels{model: m, plat: p}
+	}
+	rb.prevActive = make([]int, n)
+	rb.sims = make([]*dcsim.Stepper, n)
+	rb.boundMJ = make([]float64, n)
+	rb.boundViol = make([]int, n)
+	rb.boundCross = make([]int, n)
+	rb.drainIT = make([]float64, n)
+	rb.drainFac = make([]float64, n)
+	st.reb = rb
+	return nil
+}
+
+// openEpoch re-dispatches at slot e0, prices the cross-DC moves into
+// the result accumulators (the batch path prices before its DC loop)
+// and builds the epoch's per-DC steppers seeded with each DC's
+// carried active-server count.
+func (rb *rebState) openEpoch(st *Stepper, e0 int) error {
+	cfg, fleet := &st.cfg, st.fleet
+	n := rb.every
+	if e0+n > st.totalSlots {
+		n = st.totalSlots - e0
+	}
+	// Observe history plus the evaluation samples already replayed.
+	observed := rb.histSamples + e0*trace.SamplesPerSlot
+	df := rb.rebFleet
+	if e0 == 0 {
+		df = fleet // initial placement: the fleet's own dispatcher
+	}
+	asg, err := Dispatch(df, cfg.Trace, observed)
+	if err != nil {
+		return err
+	}
+	nextDC := make([]int, len(cfg.Trace.VMs))
+	for d, idxs := range asg {
+		for _, v := range idxs {
+			nextDC[v] = d
+		}
+	}
+
+	rb.boundFleetMJ = 0
+	for i := range fleet.DCs {
+		rb.boundMJ[i], rb.boundViol[i], rb.boundCross[i] = 0, 0, 0
+		rb.drainIT[i], rb.drainFac[i] = 0, 0
+	}
+
+	// Price the moves this re-dispatch caused.
+	res := rb.res
+	if rb.prevDC != nil {
+		for v := range nextDC {
+			if rb.prevDC[v] == nextDC[v] {
+				continue
+			}
+			dst := nextDC[v]
+			run := &res.DCs[dst]
+			res.CrossDCMigrations++
+			run.CrossDCMigrations++
+			rb.boundCross[dst]++
+
+			// Memory copy of the live migration: the VM's resident
+			// set at the boundary sample, at the configured energy
+			// per byte, lands in the destination's first epoch slot.
+			bytes := cfg.Trace.VMs[v].Mem[observed] / 100 * float64(1<<30)
+			mj := units.Energy(float64(cfg.Transitions.MigrationEnergyPerByte) * bytes).MJ()
+			run.ITEnergyMJ += mj
+			facility := mj * run.Spec.PUE
+			run.EnergyMJ += facility
+			res.TotalEnergyMJ += facility
+			res.TransitionMJ += facility
+			rb.dcSlotMJ[dst][e0] += facility
+			res.SlotEnergyMJ[e0] += facility
+			rb.boundMJ[dst] += facility
+			rb.boundFleetMJ += facility
+
+			// Downtime: the VM is unavailable while it moves.
+			run.Violations += rb.downtime
+			res.Violations += rb.downtime
+			w := float64(rb.downtime) * latencyWeight(run.Spec.LatencyMs)
+			run.LatencyWeightedViol += w
+			res.LatencyWeightedViol += w
+			rb.boundViol[dst] += rb.downtime
+		}
+	}
+	rb.prevDC = nextDC
+	rb.asg = asg
+
+	for i, dc := range fleet.DCs {
+		rb.sims[i] = nil
+		if len(asg[i]) == 0 {
+			// A drained DC powers its servers down; the energy is
+			// computed here (the live boundary view reports it) and
+			// folded into the accumulators at closeEpoch, the batch
+			// path's position for it.
+			if rb.prevActive[i] > 0 {
+				off := units.Energy(float64(cfg.Transitions.ServerOffEnergy) * float64(rb.prevActive[i])).MJ()
+				rb.drainIT[i] = off
+				rb.drainFac[i] = off * dc.PUE
+			}
+			continue
+		}
+		pol, err := cfg.NewPolicy(rb.models[i].model)
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		sim, err := dcsim.NewStepper(dcsim.Config{
+			Trace:                subTrace(cfg.Trace, asg[i]),
+			Predictions:          subPredictions(cfg.Predictions, asg[i]),
+			HistoryDays:          cfg.HistoryDays,
+			EvalDays:             cfg.EvalDays,
+			StartSlot:            e0,
+			NumSlots:             n,
+			InitialActiveServers: rb.prevActive[i],
+			Policy:               pol,
+			Server:               rb.models[i].model,
+			Platform:             rb.models[i].plat,
+			MaxServers:           dc.Servers,
+			Transitions:          cfg.Transitions,
+			TraceLabel:           cfg.TraceLabel,
+		})
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		rb.sims[i] = sim
+	}
+	rb.open = true
+	rb.epochStart, rb.epochEnd = e0, e0+n
+	return nil
+}
+
+// closeEpoch folds the finished epoch's per-DC aggregates into the
+// result accumulators — the batch rebalancer's DC loop, verbatim, in
+// DC index order.
+func (rb *rebState) closeEpoch(st *Stepper) {
+	if !rb.open {
+		return
+	}
+	fleet := st.fleet
+	res := rb.res
+	n := rb.epochEnd - rb.epochStart
+	for i, dc := range fleet.DCs {
+		run := &res.DCs[i]
+		run.VMs = len(rb.asg[i]) // the final epoch's count survives
+		if rb.sims[i] == nil {
+			if rb.prevActive[i] > 0 {
+				run.ITEnergyMJ += rb.drainIT[i]
+				facility := rb.drainFac[i]
+				run.EnergyMJ += facility
+				res.TotalEnergyMJ += facility
+				res.TransitionMJ += facility
+				rb.dcSlotMJ[i][rb.epochStart] += facility
+				res.SlotEnergyMJ[rb.epochStart] += facility
+			}
+			rb.prevActive[i] = 0
+			continue
+		}
+		sim := rb.sims[i].Finish()
+		run.ITEnergyMJ += sim.TotalEnergy.MJ()
+		facility := sim.TotalEnergy.MJ() * dc.PUE
+		run.EnergyMJ += facility
+		res.TotalEnergyMJ += facility
+		res.TransitionMJ += sim.TotalTransitionEnergy.MJ() * dc.PUE
+		run.Violations += sim.TotalViol
+		res.Violations += sim.TotalViol
+		w := float64(sim.TotalViol) * latencyWeight(dc.LatencyMs)
+		run.LatencyWeightedViol += w
+		res.LatencyWeightedViol += w
+		run.Migrations += sim.TotalMigrations
+		res.Migrations += sim.TotalMigrations
+		for _, s := range sim.Slots {
+			mj := s.Energy.MJ() * dc.PUE
+			rb.dcSlotMJ[i][s.Slot] += mj
+			res.SlotEnergyMJ[s.Slot] += mj
+			rb.activePerSlot[s.Slot] += s.ActiveServers
+			rb.dcActiveSum[i] += s.ActiveServers
+			if s.ActiveServers > run.PeakActive {
+				run.PeakActive = s.ActiveServers
+			}
+		}
+		rb.prevActive[i] = sim.Slots[len(sim.Slots)-1].ActiveServers
+		rb.freqWeighted += sim.MeanPlannedFreqGHz() * float64(len(rb.asg[i])*n)
+		rb.vmSlotTotal += float64(len(rb.asg[i]) * n)
+	}
+	rb.open = false
+}
+
+func (st *Stepper) stepRebalanced() (SlotStep, error) {
+	rb := st.reb
+	s := st.next
+	if !rb.open || s >= rb.epochEnd {
+		rb.closeEpoch(st)
+		if err := rb.openEpoch(st, s); err != nil {
+			return SlotStep{}, err
+		}
+	}
+	out := SlotStep{Slot: s, DCs: make([]DCSlotStep, len(st.fleet.DCs))}
+	boundary := s == rb.epochStart
+	if boundary {
+		// The fleet slot energy starts from the boundary pricing sum,
+		// accumulated per VM in dispatch order — the batch path's
+		// prefix of SlotEnergyMJ[s] — so the per-DC additions below
+		// land on it in the batch order and the total stays bit-exact.
+		out.EnergyMJ = rb.boundFleetMJ
+	}
+	for i, dc := range st.fleet.DCs {
+		d := &out.DCs[i]
+		d.Name = dc.Name
+		d.VMs = len(rb.asg[i])
+		if boundary {
+			d.EnergyMJ = rb.boundMJ[i]
+			d.Violations = rb.boundViol[i]
+			d.CrossDCMigrations = rb.boundCross[i]
+		}
+		if rb.sims[i] != nil {
+			slot, err := rb.sims[i].Step()
+			if err != nil {
+				return SlotStep{}, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+			}
+			mj := slot.Energy.MJ() * dc.PUE
+			d.EnergyMJ += mj
+			out.EnergyMJ += mj
+			d.ActiveServers = slot.ActiveServers
+			d.Violations += slot.Violations
+			d.Migrations = slot.Migrations
+		} else if boundary && rb.prevActive[i] > 0 {
+			d.EnergyMJ += rb.drainFac[i]
+			out.EnergyMJ += rb.drainFac[i]
+		}
+		d.LatencyWeightedViol = float64(d.Violations) * latencyWeight(dc.LatencyMs)
+		out.ActiveServers += d.ActiveServers
+		out.Violations += d.Violations
+		out.LatencyWeightedViol += d.LatencyWeightedViol
+		out.Migrations += d.Migrations
+		out.CrossDCMigrations += d.CrossDCMigrations
+	}
+	st.next++
+	return out, nil
+}
+
+// finish is the batch rebalancer's tail aggregation over the stitched
+// series, verbatim.
+func (rb *rebState) finish(st *Stepper) *FleetResult {
+	res := rb.res
+	activeSum := 0
+	for _, a := range rb.activePerSlot {
+		activeSum += a
+		if a > res.PeakActive {
+			res.PeakActive = a
+		}
+	}
+	if st.totalSlots > 0 {
+		res.MeanActive = float64(activeSum) / float64(st.totalSlots)
+	}
+	for i := range res.DCs {
+		if st.totalSlots > 0 {
+			res.DCs[i].MeanActive = float64(rb.dcActiveSum[i]) / float64(st.totalSlots)
+		}
+		// A DC that never burned anything reports EPScore 0, matching
+		// the static path's "no series" convention for empty DCs.
+		if res.DCs[i].ITEnergyMJ > 0 {
+			res.DCs[i].EPScore = SeriesEPScore(rb.dcSlotMJ[i])
+		}
+	}
+	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
+	if rb.vmSlotTotal > 0 {
+		res.MeanPlannedFreqGHz = rb.freqWeighted / rb.vmSlotTotal
+	}
+	return res
+}

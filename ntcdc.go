@@ -36,6 +36,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/qos"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
 	"repro/internal/sweep/dist"
@@ -169,6 +170,30 @@ type (
 	// the crash-resume state LoadSweepCheckpoint reads and
 	// ResumeSweepCoordinator restarts from.
 	SweepCheckpoint = dist.Checkpoint
+
+	// FleetStepper replays a fleet scenario slot by slot with
+	// batch-identical accumulation — topology.Run is this stepper
+	// driven to exhaustion (internal/topology).
+	FleetStepper = topology.Stepper
+
+	// FleetSlotStep is one completed slot of a FleetStepper: fleet
+	// and per-DC energy, active servers, violations, migrations.
+	FleetSlotStep = topology.SlotStep
+
+	// FleetService is the live fleet service behind ntc-serve: it
+	// replays one sweep scenario on the incremental stepper, serves
+	// an OpenMetrics exposition, and answers what-if scenario deltas
+	// from the result cache (internal/serve; docs/SERVING.md).
+	FleetService = serve.Server
+
+	// FleetServiceOptions configures NewFleetService: the base grid
+	// (which must expand to exactly one scenario), an optional
+	// result store for what-ifs, and the what-if bounds.
+	FleetServiceOptions = serve.Options
+
+	// FleetSnapshot is one consistent, slot-stamped view of a live
+	// replay (everything in it was computed at the same slot).
+	FleetSnapshot = serve.Snapshot
 )
 
 // Workload classes (Section III-B).
@@ -392,6 +417,17 @@ func RunDistributedSweep(ctx context.Context, g SweepGrid, n int, opt DistOption
 // byte-identical for any worker count; an empty grid runs the paper's
 // default EPACT/COAT/COAT-OPT week.
 func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResults, error) { return sweep.Run(g, opt) }
+
+// NewFleetService builds the live fleet service: a slot-by-slot
+// replay of the grid's single scenario with an OpenMetrics handler
+// and a cache-backed what-if API. Advance it with Step (or a ticker)
+// and serve its Handler; see docs/SERVING.md.
+func NewFleetService(opt FleetServiceOptions) (*FleetService, error) { return serve.New(opt) }
+
+// NewFleetStepper resolves a fleet configuration into an incremental
+// stepper: each Step yields one slot's fleet state, and Result after
+// the last step equals the batch run exactly.
+func NewFleetStepper(cfg topology.Config) (*FleetStepper, error) { return topology.NewStepper(cfg) }
 
 // SweepPolicies lists the allocation-policy names a grid accepts.
 func SweepPolicies() []string { return sweep.PolicyNames() }
