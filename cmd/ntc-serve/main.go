@@ -1,15 +1,19 @@
-// Command ntc-serve is the live fleet service: it replays one sweep
-// scenario slot by slot (1 slot = 1 hour of trace time) and serves
+// Command ntc-serve is the live fleet service: it hosts concurrent
+// scenario sessions, each replaying one sweep scenario slot by slot
+// (1 slot = 1 hour of trace time), and serves
 //
-//	GET  /metrics    OpenMetrics/Prometheus exposition of the fleet
-//	POST /v1/whatif  scenario-delta queries answered from the result cache
-//	POST /v1/step    manual replay ticks (when -tick is 0)
-//	GET  /v1/status  replay position + scenario identity
-//	GET  /healthz    liveness probe
+//	GET  /metrics            one OpenMetrics page over all sessions
+//	POST /v1/sessions        create a session (axis deltas, live ingestion)
+//	GET  /v1/sessions        list sessions
+//	DELETE /v1/sessions/{id} retire a session
+//	POST /v1/sessions/{id}/step|whatif|observe, GET .../status
+//	POST /v1/whatif|step, GET /v1/status   aliases onto the default session
+//	GET  /healthz            liveness probe
 //
-// The scenario comes from single-valued axis flags (the same axes
-// ntc-sweep sweeps). With -tick the replay advances on a wall-clock
-// ticker; without it the replay only moves when /v1/step is POSTed,
+// The default session's scenario comes from single-valued axis flags
+// (the same axes ntc-sweep sweeps); further sessions are created over
+// HTTP as deltas against that base. With -tick every session advances
+// on a wall-clock ticker; without it replays only move when stepped,
 // which is what the CI serve gate and scripted experiments use.
 //
 //	ntc-serve -addr :8740 -topology uniform@triad -rebalance epoch:4 -tick 2s
@@ -94,6 +98,7 @@ func setup(args []string, stderr io.Writer) (*serve.Server, net.Listener, time.D
 		MaxWhatIfScenarios: *fl.whatifMax,
 		MaxWhatIfVMs:       *fl.whatifVMs,
 		WhatIfWorkers:      *fl.whatifWorkers,
+		MaxSessions:        *fl.maxSessions,
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -118,11 +123,12 @@ func serveHTTP(s *serve.Server, ln net.Listener, tick time.Duration, stderr io.W
 			t := time.NewTicker(tick)
 			defer t.Stop()
 			for range t.C {
-				// Stepping a finished replay is a no-op; keep ticking
-				// so /metrics stays live after the trace ends.
-				if _, _, err := s.Step(1); err != nil {
-					fmt.Fprintf(stderr, "ntc-serve: step: %v\n", err)
-					return
+				// Tick advances every live session one slot; finished
+				// replays and ingestion sessions awaiting samples are
+				// no-ops, so the ticker keeps every session live. A
+				// failed session stays failed; keep ticking the rest.
+				if err := s.Tick(); err != nil {
+					fmt.Fprintf(stderr, "ntc-serve: tick: %v\n", err)
 				}
 			}
 		}()
@@ -155,6 +161,7 @@ type flags struct {
 	whatifMax     *int
 	whatifVMs     *int
 	whatifWorkers *int
+	maxSessions   *int
 }
 
 func newFlags(stderr io.Writer) (*flag.FlagSet, *flags) {
@@ -181,6 +188,7 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *flags) {
 		whatifMax:     fs.Int("whatif-max", serve.DefaultMaxWhatIfScenarios, "max scenarios one what-if request may expand to"),
 		whatifVMs:     fs.Int("whatif-vms", serve.DefaultMaxWhatIfVMs, "max VM count a what-if may ask for"),
 		whatifWorkers: fs.Int("whatif-workers", serve.DefaultWhatIfWorkers, "concurrent what-if scenario executions"),
+		maxSessions:   fs.Int("max-sessions", serve.DefaultMaxSessions, "max concurrent sessions, the default session included"),
 	}
 	return fs, fl
 }

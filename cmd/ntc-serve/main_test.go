@@ -122,10 +122,38 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"ntc_slot 6\n",
-		"ntc_slots 24\n",
-		`ntc_dc_active_servers{dc="core"}`,
+		"ntc_slot{session=\"default\"} 6\n",
+		"ntc_slots{session=\"default\"} 24\n",
+		`ntc_dc_active_servers{session="default",dc="core"}`,
 		"# EOF\n",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("/metrics page missing %q:\n%s", want, page)
+		}
+	}
+
+	// A second session shards the same page under its own label.
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"id": "hot", "static_power_w": [30]}`))
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	page, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ntc_slot{session=\"default\"} 6\n",
+		"ntc_slot{session=\"hot\"} 0\n",
 	} {
 		if !strings.Contains(string(page), want) {
 			t.Fatalf("/metrics page missing %q:\n%s", want, page)

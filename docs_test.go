@@ -156,7 +156,9 @@ func TestDocsPinServing(t *testing.T) {
 		"## cmd/ntc-serve",
 		"`-tick`",
 		"`-whatif-max`, `-whatif-vms`, `-whatif-workers`",
+		"`-max-sessions`",
 		"/v1/whatif",
+		"/v1/sessions",
 	} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md lost the ntc-serve marker %q", want)
@@ -168,12 +170,18 @@ func TestDocsPinServing(t *testing.T) {
 	}
 	for _, want := range []string{
 		"## Endpoints",
+		"## Sessions",
+		"## Live ingestion",
 		"## Gauge reference",
 		"## What-if queries",
+		"### Mid-replay forks",
 		"## Determinism and concurrency guarantees",
 		"/v1/whatif",
 		"/v1/step",
+		"/v1/sessions",
 		"ntc_fleet_energy_mj",
+		"ntc_ingest",
+		"ntc_whatif_forks",
 		"scenarios == executed + cache_hits",
 		"scripts/serve_check.sh",
 		"FuzzWhatIfDecode",

@@ -133,8 +133,9 @@ func ExampleRunDistributedSweep() {
 	// byte-identical to the engine: true
 }
 
-// The live fleet service: replay a scenario slot by slot and read
-// the fleet's gauges from the OpenMetrics exposition at any point.
+// The live fleet service: replay the default session slot by slot
+// and read its gauges — sharded under the session label — from the
+// OpenMetrics exposition at any point.
 func ExampleNewFleetService() {
 	svc, err := ntcdc.NewFleetService(ntcdc.FleetServiceOptions{
 		Grid: ntcdc.SweepGrid{
@@ -163,12 +164,12 @@ func ExampleNewFleetService() {
 		return
 	}
 	for _, line := range strings.Split(page.String(), "\n") {
-		if strings.HasPrefix(line, "ntc_slot ") || strings.HasPrefix(line, "ntc_slots ") {
+		if strings.HasPrefix(line, "ntc_slot{") || strings.HasPrefix(line, "ntc_slots{") {
 			fmt.Println(line)
 		}
 	}
 	// Output:
 	// slot: 3 done: false
-	// ntc_slot 3
-	// ntc_slots 24
+	// ntc_slot{session="default"} 3
+	// ntc_slots{session="default"} 24
 }

@@ -109,6 +109,26 @@ func newRunState(cfg *Config) (*runState, error) {
 	return st, nil
 }
 
+// clone copies a runState for an independent continuation bound to
+// cfg (the cloning stepper's own Config copy). Immutable per-run
+// tables (DVFS grid, observables, level powers, capacity scales) and
+// the previous assignment (read-only after its slot) are shared;
+// per-step scratch is allocated fresh — it is rebuilt from scratch on
+// every step — and the slot results are deep-copied so each side
+// appends independently.
+func (st *runState) clone(cfg *Config) *runState {
+	c := *st
+	c.cfg = cfg
+	c.vms = make([]alloc.VMDemand, len(st.vms))
+	c.cpuWin = make([]float64, len(st.cpuWin))
+	c.memWin = make([]float64, len(st.memWin))
+	if st.resident != nil {
+		c.resident = make([]float64, len(st.resident))
+	}
+	c.slots = append(make([]SlotResult, 0, st.last-st.first), st.slots...)
+	return &c
+}
+
 // step simulates one slot: build demand views, allocate, replay, and
 // price transitions. It performs no heap allocations beyond what the
 // allocation policy itself allocates (pinned by

@@ -67,6 +67,15 @@ type Config struct {
 	// ingestion-backend spec like "csv:week.csv"); it is carried into
 	// Result.Trace for provenance and defaults to "synthetic".
 	TraceLabel string
+
+	// Source, when non-nil, gates the replay on data availability:
+	// Stepper.Step refuses (with ErrAwaitingSamples, without
+	// advancing or poisoning itself) to simulate a slot the source
+	// has not released. A LiveFeed is both the source and the
+	// provider of Trace/Predictions; batch replays leave it nil. A
+	// batch Run with a source errors unless every slot of its window
+	// is released.
+	Source SlotSource
 }
 
 // SlotResult aggregates one time slot (1 hour, 12 samples).

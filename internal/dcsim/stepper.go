@@ -1,6 +1,10 @@
 package dcsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+)
 
 // Stepper advances a simulation one slot at a time over the same
 // run-scoped state a batch Run uses: the DVFS-level lookup tables,
@@ -49,17 +53,46 @@ func (s *Stepper) Done() bool { return s.next >= s.st.last }
 // Step simulates the next slot of the window and returns its result.
 // Stepping past the window is an error, as is any simulation failure
 // (the stepper is then poisoned — a slot cannot be retried, because
-// the slot loop's carried state has already advanced).
+// the slot loop's carried state has already advanced). The one
+// retryable refusal is a gated slot: with a Config.Source that has
+// not released the next slot, Step returns an error wrapping
+// ErrAwaitingSamples and advances nothing.
 func (s *Stepper) Step() (SlotResult, error) {
 	if s.Done() {
 		return SlotResult{}, fmt.Errorf("dcsim: stepper exhausted: all %d slots of window [%d, %d) stepped",
 			s.Slots(), s.st.first, s.st.last)
+	}
+	if src := s.cfg.Source; src != nil && !src.SlotReady(s.next) {
+		return SlotResult{}, fmt.Errorf("dcsim: slot %d: %w", s.next, ErrAwaitingSamples)
 	}
 	if err := s.st.step(s.next); err != nil {
 		return SlotResult{}, err
 	}
 	s.next++
 	return s.st.slots[len(s.st.slots)-1], nil
+}
+
+// Clone returns an independent stepper carrying this one's state: the
+// clone resumes at the same next slot with the same accumulated
+// results and transition continuity (prevAsg, shared read-only), and
+// stepping it never affects the original. pol, when non-nil, replaces
+// the allocation policy — callers that step original and clone
+// concurrently must pass a fresh instance, since policies are not
+// required to allocate concurrently. The registered policies derive
+// each slot's allocation from that slot's demand alone, so a fresh
+// instance continues bit-exactly (the window-concatenation property
+// the stepper tests pin).
+//
+// Immutable run state (DVFS-level tables, the trace and prediction
+// rows) is shared; mutable state (slot results, scratch buffers) is
+// copied or rebuilt.
+func (s *Stepper) Clone(pol alloc.Policy) *Stepper {
+	c := &Stepper{cfg: s.cfg, next: s.next}
+	if pol != nil {
+		c.cfg.Policy = pol
+	}
+	c.st = s.st.clone(&c.cfg)
+	return c
 }
 
 // Finish aggregates the slots stepped so far into a Result. After

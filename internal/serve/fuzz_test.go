@@ -24,6 +24,8 @@ func FuzzWhatIfDecode(f *testing.F) {
 	f.Add([]byte(`{"policies": ["EPACT"]} {"policies": ["COAT"]}`))
 	f.Add([]byte(`{"vms": [1000000]}`))
 	f.Add([]byte(blowupBody()))
+	f.Add([]byte(`{"fork": true}`))
+	f.Add([]byte(`{"fork": true, "policies": ["COAT"]}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Add([]byte(`[{"policies": ["EPACT"]}]`))
@@ -35,10 +37,18 @@ func FuzzWhatIfDecode(f *testing.F) {
 	base := testGrid().WithDefaults()
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		scens, err := decodeWhatIf(data, base, maxScenarios, maxVMs)
+		req, scens, err := decodeWhatIf(data, base, maxScenarios, maxVMs)
 		if err != nil {
 			if scens != nil {
 				t.Fatalf("rejected input still returned %d scenarios", len(scens))
+			}
+			return
+		}
+		if req.Fork {
+			// A fork carries no delta grid: nothing to expand, nothing
+			// to bound — the carried state is the scenario.
+			if scens != nil {
+				t.Fatalf("fork request still returned %d scenarios", len(scens))
 			}
 			return
 		}

@@ -1,40 +1,91 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
+
+	"repro/internal/dcsim"
 )
 
-// maxWhatIfBody bounds a what-if request body; the delta surface is a
-// handful of short axis lists, so a megabyte is already generous.
+// maxWhatIfBody bounds a what-if or session-create request body; the
+// delta surface is a handful of short axis lists, so a megabyte is
+// already generous.
 const maxWhatIfBody = 1 << 20
+
+// maxStepBody bounds a step request body ({"slots": n}).
+const maxStepBody = 4096
+
+// maxObserveBody bounds an observe request body: per-VM sample rows
+// for one slot. 2000 VMs x 12 samples x 2 resources is well under a
+// megabyte of JSON; 16 MiB leaves headroom without inviting abuse.
+const maxObserveBody = 16 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	GET  /metrics    OpenMetrics/Prometheus exposition
-//	POST /v1/whatif  scenario-delta query (JSON in, JSON out)
-//	POST /v1/step    advance the replay ({"slots": n}, default 1)
-//	GET  /v1/status  live snapshot summary (JSON)
-//	GET  /healthz    liveness probe
+//	GET    /metrics                    OpenMetrics exposition, all sessions, session-labelled
+//	GET    /v1/sessions                list live sessions
+//	POST   /v1/sessions                create a session (axis delta vs the base grid)
+//	GET    /v1/sessions/{id}           session status
+//	DELETE /v1/sessions/{id}           retire a session
+//	POST   /v1/sessions/{id}/step      advance a session ({"slots": n}, default 1)
+//	GET    /v1/sessions/{id}/status    session status (alias of GET …/{id})
+//	POST   /v1/sessions/{id}/whatif    scenario-delta query against the session's scenario
+//	POST   /v1/sessions/{id}/observe   ingest one observed slot (live-ingestion sessions)
+//	POST   /v1/whatif                  alias: what-if on the default session
+//	POST   /v1/step                    alias: step the default session (no-op once done)
+//	GET    /v1/status                  alias: default session status
+//	GET    /healthz                    liveness probe
+//
+// Every error is a JSON {"error": …} envelope; 405 responses carry an
+// Allow header; unknown paths are a JSON 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
-	mux.HandleFunc("/v1/step", s.handleStep)
-	mux.HandleFunc("/v1/status", s.handleStatus)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+	mux.HandleFunc("/metrics", allow(s.handleMetrics, http.MethodGet, http.MethodHead))
+	mux.HandleFunc("/healthz", allow(handleHealth, http.MethodGet, http.MethodHead))
+	mux.HandleFunc("/v1/sessions", allow(s.handleSessions, http.MethodGet, http.MethodPost))
+	mux.HandleFunc("/v1/sessions/{id}", allow(s.handleSession, http.MethodGet, http.MethodDelete))
+	mux.HandleFunc("/v1/sessions/{id}/step", allow(s.handleSessionStep, http.MethodPost))
+	mux.HandleFunc("/v1/sessions/{id}/status", allow(s.handleSessionStatus, http.MethodGet))
+	mux.HandleFunc("/v1/sessions/{id}/whatif", allow(s.handleSessionWhatIf, http.MethodPost))
+	mux.HandleFunc("/v1/sessions/{id}/observe", allow(s.handleSessionObserve, http.MethodPost))
+	mux.HandleFunc("/v1/whatif", allow(s.handleWhatIfAlias, http.MethodPost))
+	mux.HandleFunc("/v1/step", allow(s.handleStepAlias, http.MethodPost))
+	mux.HandleFunc("/v1/status", allow(s.handleStatusAlias, http.MethodGet))
+	// Everything else is a JSON 404 — the mux's default plain-text
+	// page would break the error-envelope contract.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no such endpoint: "+r.URL.Path)
 	})
 	return mux
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
+// allow dispatches on method manually so a rejected method gets the
+// JSON error envelope AND the Allow header (the mux's method-pattern
+// 405s are plain text).
+func allow(h http.HandlerFunc, methods ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range methods {
+			if r.Method == m {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", strings.Join(methods, ", "))
+		httpError(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
 	}
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The classic text exposition content type; the page also carries
 	// the OpenMetrics # EOF terminator, which text-format parsers
 	// treat as a comment.
@@ -42,31 +93,112 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.WriteMetrics(w)
 }
 
-func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWhatIfBody))
-	if err != nil {
-		s.rejectWhatIf(w, http.StatusRequestEntityTooLarge, "request body too large")
-		return
-	}
-	scens, err := decodeWhatIf(body, s.runner.Grid(), s.opt.MaxWhatIfScenarios, s.opt.MaxWhatIfVMs)
-	if err != nil {
-		s.rejectWhatIf(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, s.whatIf(scens))
+// sessionStatus is the status shape shared by the session endpoints
+// and the v1 alias (the alias keeps PR 8's scenario/slot/slots/done
+// keys; the session fields are additive).
+type sessionStatus struct {
+	Session  string `json:"session"`
+	Scenario string `json:"scenario"`
+	Slot     int    `json:"slot"`
+	Slots    int    `json:"slots"`
+	Done     bool   `json:"done"`
+	State    string `json:"state"`
+	Ingest   bool   `json:"ingest"`
+	Ingested int    `json:"ingested"`
 }
 
-// rejectWhatIf records a rejected request and answers with a JSON
-// error body.
-func (s *Server) rejectWhatIf(w http.ResponseWriter, code int, msg string) {
-	s.wmu.Lock()
-	s.wst.rejected++
-	s.wmu.Unlock()
-	writeJSON(w, code, map[string]string{"error": msg})
+func statusOf(sess *Session) sessionStatus {
+	snap := sess.Snapshot()
+	return sessionStatus{
+		Session:  sess.id,
+		Scenario: sess.scen.ID(),
+		Slot:     snap.Slot,
+		Slots:    snap.Slots,
+		Done:     snap.Done,
+		State:    snap.State,
+		Ingest:   snap.Ingest,
+		Ingested: snap.Ingested,
+	}
+}
+
+// sessionFromPath resolves the {id} path segment; a miss answers 404
+// and reports !ok.
+func (s *Server) sessionFromPath(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.session(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no such session %q", id))
+	}
+	return sess, ok
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		list := s.sessionList()
+		out := struct {
+			Sessions []sessionStatus `json:"sessions"`
+		}{Sessions: make([]sessionStatus, len(list))}
+		for i, sess := range list {
+			out.Sessions[i] = statusOf(sess)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	body, code, msg := readBody(w, r, maxWhatIfBody)
+	if code != 0 {
+		httpError(w, code, msg)
+		return
+	}
+	id, ingest, scen, err := decodeSessionCreate(body, s.grid, s.opt.MaxWhatIfScenarios, s.opt.MaxWhatIfVMs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, err := s.createSession(id, ingest, scen)
+	switch {
+	case errors.Is(err, errSessionExists):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, errSessionLimit):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusCreated, statusOf(sess))
+	}
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFromPath(w, r)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, statusOf(sess))
+		return
+	}
+	if err := s.deleteSession(sess.id); err != nil {
+		code := http.StatusConflict // the undeletable default session
+		if errors.Is(err, errNoSession) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Session string `json:"session"`
+		Retired bool   `json:"retired"`
+	}{sess.id, true})
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.sessionFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(sess))
+	}
+}
+
+func (s *Server) handleStatusAlias(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statusOf(s.defaultSession()))
 }
 
 // stepRequest is the manual-tick body; the zero value steps one slot.
@@ -74,49 +206,187 @@ type stepRequest struct {
 	Slots int `json:"slots"`
 }
 
-// stepResponse reports the replay position after a step (also the
-// /v1/status shape, minus the gauges the metrics page carries).
+// stepResponse reports the replay position after a step. Stepped is
+// how many slots THIS request advanced (an ingestion session may stop
+// short of the ask at the first un-observed slot).
 type stepResponse struct {
-	Slot  int  `json:"slot"`
-	Slots int  `json:"slots"`
-	Done  bool `json:"done"`
+	Session string `json:"session"`
+	Slot    int    `json:"slot"`
+	Slots   int    `json:"slots"`
+	Done    bool   `json:"done"`
+	State   string `json:"state"`
+	Stepped int    `json:"stepped"`
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
+// decodeStep parses a step body with the same hermetic gates as the
+// what-if decoder: unknown fields and trailing JSON values are
+// rejected. The empty body steps one slot.
+func decodeStep(body []byte) (stepRequest, error) {
 	var req stepRequest
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "request body too large"})
+	if len(body) == 0 {
+		return req, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("parsing step request: %w", err)
+	}
+	if dec.More() {
+		return req, fmt.Errorf("step request has trailing data after the JSON object")
+	}
+	return req, nil
+}
+
+func (s *Server) handleStepAlias(w http.ResponseWriter, r *http.Request) {
+	s.serveStep(w, r, s.defaultSession(), true)
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.sessionFromPath(w, r); ok {
+		s.serveStep(w, r, sess, false)
+	}
+}
+
+// serveStep advances one session. The session endpoint reports
+// exhaustion and full gating as 409 Conflict — the request cannot
+// make progress in the session's current state; the v1 alias keeps
+// PR 8's no-op-200 contract for finished replays (tickers keep
+// firing after the trace ends). Partial progress on a gated
+// ingestion session is a 200 whose state says awaiting_samples.
+func (s *Server) serveStep(w http.ResponseWriter, r *http.Request, sess *Session, alias bool) {
+	body, code, msg := readBody(w, r, maxStepBody)
+	if code != 0 {
+		httpError(w, code, msg)
 		return
 	}
-	if len(body) > 0 {
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "parsing step request: " + err.Error()})
+	req, err := decodeStep(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	slot, done, stepped, err := sess.Step(req.Slots)
+	if err != nil && !errors.Is(err, dcsim.ErrAwaitingSamples) {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !alias && stepped == 0 {
+		if err != nil { // gated before the first slot
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		if done {
+			httpError(w, http.StatusConflict, "replay exhausted: the session is done")
 			return
 		}
 	}
-	slot, done, err := s.Step(req.Slots)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, stepResponse{Slot: slot, Slots: s.Snapshot().Slots, Done: done})
+	snap := sess.Snapshot()
+	writeJSON(w, http.StatusOK, stepResponse{
+		Session: sess.id, Slot: slot, Slots: snap.Slots,
+		Done: done, State: snap.State, Stepped: stepped,
+	})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+// observeRequest carries one observed evaluation slot: cpu[i][k] and
+// mem[i][k] are VM i's utilisation percentages for the slot's k-th
+// 5-minute sample (12 per slot), VM order as in the session's trace.
+type observeRequest struct {
+	Slot int         `json:"slot"`
+	CPU  [][]float64 `json:"cpu"`
+	Mem  [][]float64 `json:"mem"`
+}
+
+func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFromPath(w, r)
+	if !ok {
 		return
 	}
-	snap := s.Snapshot()
+	body, code, msg := readBody(w, r, maxObserveBody)
+	if code != 0 {
+		httpError(w, code, msg)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req observeRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing observe request: "+err.Error())
+		return
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "observe request has trailing data after the JSON object")
+		return
+	}
+	ingested, err := sess.Observe(req.Slot, req.CPU, req.Mem)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errNotIngest) || errors.Is(err, dcsim.ErrObserveOrder) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	snap := sess.Snapshot()
 	writeJSON(w, http.StatusOK, struct {
-		Scenario string `json:"scenario"`
-		stepResponse
-	}{s.scen.ID(), stepResponse{Slot: snap.Slot, Slots: snap.Slots, Done: snap.Done}})
+		Session  string `json:"session"`
+		Ingested int    `json:"ingested"`
+		State    string `json:"state"`
+	}{sess.id, ingested, snap.State})
+}
+
+func (s *Server) handleWhatIfAlias(w http.ResponseWriter, r *http.Request) {
+	s.serveWhatIf(w, r, s.defaultSession())
+}
+
+func (s *Server) handleSessionWhatIf(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.sessionFromPath(w, r); ok {
+		s.serveWhatIf(w, r, sess)
+	}
+}
+
+// serveWhatIf answers a what-if against one session: axis deltas
+// apply to the session's own scenario (for the default session that
+// is exactly the base grid), and {"fork": true} replays the session's
+// carried stepper state to the end of the horizon instead.
+func (s *Server) serveWhatIf(w http.ResponseWriter, r *http.Request, sess *Session) {
+	body, code, msg := readBody(w, r, maxWhatIfBody)
+	if code != 0 {
+		s.rejectWhatIf(sess, w, code, msg)
+		return
+	}
+	req, scens, err := decodeWhatIf(body, gridForScenario(s.grid, sess.scen), s.opt.MaxWhatIfScenarios, s.opt.MaxWhatIfVMs)
+	if err != nil {
+		s.rejectWhatIf(sess, w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Fork {
+		s.serveFork(w, sess)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.whatIf(s, scens))
+}
+
+// rejectWhatIf records a rejected request on the session and answers
+// with the JSON error envelope.
+func (s *Server) rejectWhatIf(sess *Session, w http.ResponseWriter, code int, msg string) {
+	sess.wmu.Lock()
+	sess.wst.rejected++
+	sess.wmu.Unlock()
+	httpError(w, code, msg)
+}
+
+// readBody drains a size-capped request body. A non-zero code means
+// the caller must answer (code, msg) — 413 for the size cap, 400 for
+// transport errors (previously mislabelled "request body too large").
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) (body []byte, code int, msg string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge, "request body too large"
+		}
+		return nil, http.StatusBadRequest, "reading request body: " + err.Error()
+	}
+	return body, 0, ""
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -125,6 +395,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// httpError answers the uniform JSON error envelope every endpoint
+// shares: {"error": msg}.
 func httpError(w http.ResponseWriter, code int, msg string) {
-	http.Error(w, msg, code)
+	writeJSON(w, code, map[string]string{"error": msg})
 }

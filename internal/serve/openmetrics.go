@@ -11,15 +11,16 @@ import (
 // The exposition writer renders a deterministic Prometheus/OpenMetrics
 // text page: families sorted by name, samples sorted by label set,
 // shortest-round-trip float formatting, one # HELP and # TYPE line per
-// family, and a final # EOF terminator. Determinism is a contract the
-// golden exposition test byte-pins: two scrapes at the same slot are
+// family, and a final # EOF terminator. Every sample carries a session
+// label (sessions shard the page; there are no unlabelled series), and
+// sessions render in sorted id order. Determinism is a contract the
+// golden exposition test byte-pins: two scrapes at the same slots are
 // byte-identical (there is deliberately no scrape counter), so scraper
 // dashboards and the CI serve check can diff pages directly.
 
-// sample is one series of a family: a rendered label set (possibly
-// empty) and a value.
+// sample is one series of a family: a rendered label set and a value.
 type sample struct {
-	labels string // rendered, inside braces: `dc="core"`
+	labels string // rendered, inside braces: `session="default",dc="core"`
 	value  float64
 }
 
@@ -100,23 +101,27 @@ func writeExposition(w io.Writer, fams []family) error {
 	return err
 }
 
-// families builds the full gauge page from one snapshot plus the
-// committed what-if counters and cache stats — the only inputs, so a
-// page is as consistent as its snapshot.
-func (s *Server) families() []family {
-	snap := s.Snapshot()
-	wst := s.whatifSnapshot()
-	cst := s.store.Stats() // nil-safe: zero stats without a store
+// families builds one session's slice of the gauge page from one
+// snapshot plus the committed what-if and cache counters — the only
+// inputs, so a page is as consistent as its snapshots. Every label
+// set leads with the session label. The family list (names, order,
+// help strings) is identical for every session, which is what lets
+// WriteMetrics merge sessions sample-wise.
+func (sess *Session) families() []family {
+	snap := sess.Snapshot()
+	wst, cst := sess.statsSnapshot()
 
 	g := func(name, help string, samples ...sample) family {
 		return family{name: name, help: help, typ: "gauge", samples: samples}
 	}
-	one := func(v float64) []sample { return []sample{{value: v}} }
+	one := func(v float64) []sample {
+		return []sample{{labels: labels("session", sess.id), value: v}}
+	}
 
 	perDC := func(get func(*DCSnapshot) float64) []sample {
 		out := make([]sample, len(snap.DCs))
 		for i := range snap.DCs {
-			out[i] = sample{labels: labels("dc", snap.DCs[i].Name), value: get(&snap.DCs[i])}
+			out[i] = sample{labels: labels("session", sess.id, "dc", snap.DCs[i].Name), value: get(&snap.DCs[i])}
 		}
 		return out
 	}
@@ -125,8 +130,11 @@ func (s *Server) families() []family {
 		g("ntc_slot", "Completed evaluation slots (1 slot = 1 hour); monotone.", one(float64(snap.Slot))...),
 		g("ntc_slots", "Total slots in the replayed evaluation period.", one(float64(snap.Slots))...),
 		g("ntc_done", "1 once the replay has finished, else 0.", one(b2f(snap.Done))...),
+		g("ntc_ingest", "1 on a live-ingestion session (replay gated on observed samples), else 0.", one(b2f(snap.Ingest))...),
+		g("ntc_ingest_slots", "Observed evaluation slots ingested so far (0 on replay sessions); monotone.", one(float64(snap.Ingested))...),
 		g("ntc_info", "Live scenario identity (value is always 1).", sample{
 			labels: labels(
+				"session", sess.id,
 				"policy", snap.Scenario.Policy,
 				"predictor", snap.Scenario.Predictor,
 				"rebalance", snap.Scenario.Rebalance,
@@ -163,22 +171,36 @@ func (s *Server) families() []family {
 		g("ntc_dc_cross_dc_migrations", "Cumulative VMs the rebalancer moved into each datacenter; monotone.",
 			perDC(func(d *DCSnapshot) float64 { return float64(d.CrossDCMigrations) })...),
 
-		g("ntc_whatif_requests", "What-if requests accepted; monotone.", one(float64(wst.requests))...),
+		g("ntc_whatif_requests", "What-if requests accepted on this session (forks included); monotone.", one(float64(wst.requests))...),
 		g("ntc_whatif_rejected", "What-if requests rejected by validation; monotone.", one(float64(wst.rejected))...),
-		g("ntc_whatif_scenarios", "Scenarios answered across all what-if requests; monotone.", one(float64(wst.scenarios))...),
+		g("ntc_whatif_scenarios", "Scenarios answered across this session's what-if requests; monotone.", one(float64(wst.scenarios))...),
 		g("ntc_whatif_executed", "What-if scenarios that had to execute (cache misses); monotone.", one(float64(wst.executed))...),
 		g("ntc_whatif_cache_hits", "What-if scenarios answered from the result cache; monotone.", one(float64(wst.cacheHits))...),
+		g("ntc_whatif_forks", "Mid-replay fork what-ifs answered from carried state; monotone.", one(float64(wst.forks))...),
 
-		g("ntc_cache_hits", "Result-store hits; monotone.", one(float64(cst.Hits))...),
-		g("ntc_cache_misses", "Result-store misses; monotone.", one(float64(cst.Misses))...),
-		g("ntc_cache_writes", "Result-store writes; monotone.", one(float64(cst.Writes))...),
+		g("ntc_cache_hits", "Result-store hits serving this session's what-ifs; monotone.", one(float64(cst.hits))...),
+		g("ntc_cache_misses", "This session's what-if scenarios the store could not answer; monotone.", one(float64(cst.misses))...),
+		g("ntc_cache_writes", "Executed what-if rows persisted to the store for this session; monotone.", one(float64(cst.writes))...),
 	}
 	return fams
 }
 
-// WriteMetrics renders the exposition page for the current snapshot.
+// WriteMetrics renders the exposition page: every live session's
+// families merged sample-wise (the family list is position-identical
+// across sessions), sessions in sorted id order.
 func (s *Server) WriteMetrics(w io.Writer) error {
-	return writeExposition(w, s.families())
+	var fams []family
+	for _, sess := range s.sessionList() {
+		sf := sess.families()
+		if fams == nil {
+			fams = sf
+			continue
+		}
+		for i := range fams {
+			fams[i].samples = append(fams[i].samples, sf[i].samples...)
+		}
+	}
+	return writeExposition(w, fams)
 }
 
 func b2f(b bool) float64 {

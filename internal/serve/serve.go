@@ -1,16 +1,27 @@
-// Package serve is the live fleet service behind ntc-serve: it
-// replays one sweep scenario slot by slot on the incremental fleet
-// stepper (topology.Stepper), publishes the fleet's gauges as an
-// OpenMetrics/Prometheus exposition, and answers what-if scenario
-// deltas from the content-addressed result cache, leasing a bounded
-// in-process sweep only on a miss.
+// Package serve is the live fleet service behind ntc-serve: it hosts
+// live scenario sessions, each replaying one sweep scenario slot by
+// slot on the incremental fleet stepper (topology.Stepper), publishes
+// every session's gauges on one OpenMetrics/Prometheus exposition
+// page (a session label shards the series), answers what-if scenario
+// deltas from the content-addressed result cache, ingests observed
+// utilisation samples into live sessions, and forks a session's
+// carried replay state to answer "what does the rest of THIS run look
+// like" without re-simulating the past.
 //
-// Concurrency model: stepping is serialised by a mutex, and every
-// step publishes an immutable Snapshot through an atomic pointer —
-// a scrape reads exactly one pointer, so it always sees a consistent
-// slot (no torn reads, no locks on the read path). What-if counters
-// commit under their own mutex as one transaction per request, so the
-// exposition's whatif series always reconcile:
+// Session model: New creates the default session from the base grid;
+// POST /v1/sessions creates further sessions as axis deltas against
+// that grid (same hermeticity gates as a what-if). Every session
+// steps, scrapes, and answers what-ifs independently; the PR 8
+// endpoints (/v1/step, /v1/status, /v1/whatif) remain as aliases onto
+// the default session.
+//
+// Concurrency model: each session's stepping is serialised by its own
+// mutex, and every step publishes an immutable Snapshot through an
+// atomic pointer — a scrape reads one pointer per session, so it
+// always sees a consistent slot (no torn reads, no locks on the read
+// path). What-if counters commit under a per-session mutex as one
+// transaction per request, so the exposition's whatif series always
+// reconcile per session:
 //
 //	scenarios == executed + cache_hits
 //
@@ -18,10 +29,12 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/dcsim"
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
 	"repro/internal/topology"
@@ -40,11 +53,21 @@ const DefaultMaxWhatIfVMs = 2000
 // all in-flight what-if requests (the "bounded in-process sweep").
 const DefaultWhatIfWorkers = 2
 
+// DefaultMaxSessions bounds live sessions per daemon, the default
+// session included. Every session owns a full stepper (trace,
+// predictions, per-DC simulations), so the bound is a memory guard.
+const DefaultMaxSessions = 8
+
+// DefaultSessionID is the session New creates from the base grid.
+// The v1 alias endpoints (/v1/step, /v1/status, /v1/whatif) operate
+// on it, and it cannot be retired.
+const DefaultSessionID = "default"
+
 // Options configures a Server.
 type Options struct {
 	// Grid is the base scenario grid. It must expand to exactly one
-	// scenario — the live run the daemon replays — and it is the base
-	// every what-if delta is applied to.
+	// scenario — the default session's live run — and it is the base
+	// every what-if delta and session-create delta is applied to.
 	Grid sweep.Grid
 
 	// Cache, when non-nil, is the content-addressed result store
@@ -63,6 +86,10 @@ type Options struct {
 	// WhatIfWorkers caps concurrent scenario executions across all
 	// what-if requests; <= 0 uses DefaultWhatIfWorkers.
 	WhatIfWorkers int
+
+	// MaxSessions caps live sessions (default session included);
+	// <= 0 uses DefaultMaxSessions.
+	MaxSessions int
 }
 
 // DCSnapshot is one datacenter's slice of a Snapshot.
@@ -90,11 +117,31 @@ type DCSnapshot struct {
 	CrossDCMigrations   int
 }
 
-// Snapshot is one consistent view of the live run: everything in it
-// was computed at the same completed slot. Snapshots are immutable —
-// the server publishes a fresh one per step through an atomic pointer
-// and never writes to a published snapshot again.
+// Session lifecycle states, as reported by Snapshot.State and the
+// status endpoints.
+const (
+	// StateReplaying: the session has replayable slots ahead.
+	StateReplaying = "replaying"
+
+	// StateAwaiting: a live-ingestion session whose next slot has not
+	// been observed yet — stepping it is a 409, not progress.
+	StateAwaiting = "awaiting_samples"
+
+	// StateDone: the replay has finished; stepping is exhausted.
+	StateDone = "done"
+
+	// StateFailed: a simulation error poisoned the session.
+	StateFailed = "failed"
+)
+
+// Snapshot is one consistent view of a session's live run: everything
+// in it was computed at the same completed slot. Snapshots are
+// immutable — the session publishes a fresh one per step through an
+// atomic pointer and never writes to a published snapshot again.
 type Snapshot struct {
+	// Session is the owning session's id.
+	Session string
+
 	// Scenario is the live scenario being replayed.
 	Scenario sweep.Scenario
 
@@ -106,6 +153,15 @@ type Snapshot struct {
 
 	// Done reports whether the replay has finished.
 	Done bool
+
+	// State is the session lifecycle state (State* constants).
+	State string
+
+	// Ingest reports a live-ingestion session; Ingested is how many
+	// evaluation slots have been observed so far (always 0 on replay
+	// sessions).
+	Ingest   bool
+	Ingested int
 
 	// EnergyMJ is the fleet's cumulative facility energy; its
 	// per-slot increments are bit-exact with the batch run's
@@ -129,47 +185,57 @@ type Snapshot struct {
 	DCs []DCSnapshot
 }
 
-// whatifStats are the what-if traffic counters. They are committed
-// under one mutex as a single transaction per request, which is what
-// makes scenarios == executed + cacheHits hold at every scrape.
+// whatifStats are one session's what-if traffic counters. They are
+// committed under one mutex as a single transaction per request,
+// which is what makes scenarios == executed + cacheHits hold at every
+// scrape.
 type whatifStats struct {
 	requests  int64
 	rejected  int64
 	scenarios int64
 	executed  int64
 	cacheHits int64
+	forks     int64
 }
 
-// Server is the live fleet service. Create with New; serve its
-// Handler; advance it with Step (or wire a ticker to Step).
+// cacheStats attribute result-store traffic to one session's what-if
+// requests (the store itself is shared by all sessions).
+type cacheStats struct {
+	hits   int64
+	misses int64
+	writes int64
+}
+
+// Registry rejections; the HTTP layer maps them to status codes.
+var (
+	errSessionExists = errors.New("session id already exists")
+	errSessionLimit  = errors.New("session limit reached")
+	errNoSession     = errors.New("no such session")
+)
+
+// Server is the live fleet service: a registry of sessions sharing
+// one result store and one what-if execution lease. Create with New;
+// serve its Handler; advance sessions with Tick (or per-session
+// steps).
 type Server struct {
 	opt    Options
+	grid   sweep.Grid // defaulted base grid; the delta base
 	scen   sweep.Scenario
 	runner *sweep.Runner
 	store  *cache.Store
 
-	// sem leases what-if scenario executions (bounded in-process sweep).
+	// sem leases what-if scenario executions and fork replays across
+	// ALL sessions (bounded in-process sweep).
 	sem chan struct{}
 
-	// mu serialises stepping and owns every cumulative accumulator.
-	mu      sync.Mutex
-	stepper *topology.Stepper
-	stepErr error
-	cum     Snapshot // accumulators; copied (not aliased) into published snapshots
-	minSlot float64  // min/max of fleet slot energies so far, for EPScore
-	maxSlot float64
-
-	// cur is the published snapshot; scrapes load it once.
-	cur atomic.Pointer[Snapshot]
-
-	wmu sync.Mutex
-	wst whatifStats
+	smu      sync.Mutex
+	sessions map[string]*Session
 }
 
 // New builds the service: expands the base grid (which must describe
 // exactly one scenario), resolves its inputs through a sweep Runner —
-// the identical config a batch sweep would execute — and positions
-// the stepper before slot 0.
+// the identical config a batch sweep would execute — and creates the
+// default session positioned before slot 0.
 func New(opt Options) (*Server, error) {
 	if opt.MaxWhatIfScenarios <= 0 {
 		opt.MaxWhatIfScenarios = DefaultMaxWhatIfScenarios
@@ -179,6 +245,9 @@ func New(opt Options) (*Server, error) {
 	}
 	if opt.WhatIfWorkers <= 0 {
 		opt.WhatIfWorkers = DefaultWhatIfWorkers
+	}
+	if opt.MaxSessions <= 0 {
+		opt.MaxSessions = DefaultMaxSessions
 	}
 	grid := opt.Grid.WithDefaults()
 	scens, err := sweep.Expand(grid)
@@ -192,7 +261,68 @@ func New(opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := runner.StepperConfig(scens[0])
+
+	s := &Server{
+		opt:      opt,
+		grid:     grid,
+		scen:     scens[0],
+		runner:   runner,
+		store:    opt.Cache,
+		sem:      make(chan struct{}, opt.WhatIfWorkers),
+		sessions: make(map[string]*Session),
+	}
+	if _, err := s.createSession(DefaultSessionID, false, scens[0]); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Scenario returns the base scenario (the default session's replay).
+func (s *Server) Scenario() sweep.Scenario { return s.scen }
+
+// Snapshot returns the default session's published snapshot. It is
+// immutable; callers must not modify it.
+func (s *Server) Snapshot() *Snapshot { return s.defaultSession().Snapshot() }
+
+// Step advances the default session's replay by up to n slots (n <= 0
+// steps one) — the PR 8 surface, kept for the alias endpoint and the
+// cmd ticker. Stepping a finished replay is a no-op, not an error. A
+// simulation error poisons the session: it is returned from every
+// subsequent Step.
+func (s *Server) Step(n int) (slot int, done bool, err error) {
+	slot, done, _, err = s.defaultSession().Step(n)
+	return slot, done, err
+}
+
+// Tick advances every session by one slot: replay sessions step,
+// ingestion sessions step only when their next slot has been
+// observed (a gating refusal is not an error), finished sessions are
+// no-ops. Every session is ticked even if one fails; the first
+// simulation error is returned for logging.
+func (s *Server) Tick() error {
+	var first error
+	for _, sess := range s.sessionList() {
+		if _, _, _, err := sess.Step(1); err != nil && first == nil && !errors.Is(err, dcsim.ErrAwaitingSamples) {
+			first = err
+		}
+	}
+	return first
+}
+
+// createSession builds a session's stepper (outside the registry
+// lock — input resolution can be expensive) and registers it. ingest
+// sessions replay through a dcsim.LiveFeed and start gated on slot 0.
+func (s *Server) createSession(id string, ingest bool, scen sweep.Scenario) (*Session, error) {
+	var (
+		cfg  topology.Config
+		feed *dcsim.LiveFeed
+		err  error
+	)
+	if ingest {
+		cfg, feed, err = s.runner.LiveStepperConfig(scen)
+	} else {
+		cfg, err = s.runner.StepperConfig(scen)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -200,120 +330,61 @@ func New(opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	sess := newSession(id, scen, st, feed)
 
-	s := &Server{
-		opt:     opt,
-		scen:    scens[0],
-		runner:  runner,
-		store:   opt.Cache,
-		sem:     make(chan struct{}, opt.WhatIfWorkers),
-		stepper: st,
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if _, dup := s.sessions[id]; dup {
+		return nil, fmt.Errorf("serve: session %q: %w", id, errSessionExists)
 	}
-	s.cum = Snapshot{
-		Scenario: s.scen,
-		Slots:    st.Slots(),
-		Done:     st.Done(),
-		DCs:      make([]DCSnapshot, len(st.Fleet().DCs)),
+	if len(s.sessions) >= s.opt.MaxSessions {
+		return nil, fmt.Errorf("serve: %w (%d live)", errSessionLimit, len(s.sessions))
 	}
-	for i, dc := range st.Fleet().DCs {
-		s.cum.DCs[i].Name = dc.Name
-	}
-	s.publish()
-	return s, nil
+	s.sessions[id] = sess
+	return sess, nil
 }
 
-// Scenario returns the live scenario the server replays.
-func (s *Server) Scenario() sweep.Scenario { return s.scen }
-
-// Snapshot returns the current published snapshot. It is immutable;
-// callers must not modify it.
-func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
-
-// publish copies the accumulator state into a fresh immutable
-// snapshot and swaps it in. Caller holds mu (or is the constructor).
-func (s *Server) publish() {
-	snap := s.cum
-	snap.DCs = append([]DCSnapshot(nil), s.cum.DCs...)
-	s.cur.Store(&snap)
+// deleteSession retires a session. The default session is the alias
+// endpoints' target and cannot be retired. In-flight requests holding
+// the session keep working — a Session is self-contained — it just
+// stops being addressable and scraped.
+func (s *Server) deleteSession(id string) error {
+	if id == DefaultSessionID {
+		return fmt.Errorf("serve: the default session cannot be retired")
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return fmt.Errorf("serve: session %q: %w", id, errNoSession)
+	}
+	delete(s.sessions, id)
+	return nil
 }
 
-// Step advances the replay by up to n slots (n <= 0 steps one) and
-// publishes a snapshot. It returns the new completed-slot count and
-// whether the replay has finished. Stepping a finished replay is a
-// no-op, not an error — a ticker may keep firing after the trace
-// ends. A simulation error poisons the server: it is returned from
-// every subsequent Step.
-func (s *Server) Step(n int) (slot int, done bool, err error) {
-	if n <= 0 {
-		n = 1
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stepErr != nil {
-		return s.cum.Slot, s.cum.Done, s.stepErr
-	}
-	for i := 0; i < n && !s.stepper.Done(); i++ {
-		step, err := s.stepper.Step()
-		if err != nil {
-			s.stepErr = err
-			return s.cum.Slot, s.cum.Done, err
-		}
-		s.apply(step)
-	}
-	s.cum.Done = s.stepper.Done()
-	s.publish()
-	return s.cum.Slot, s.cum.Done, nil
+// session looks up a live session by id.
+func (s *Server) session(id string) (*Session, bool) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
 }
 
-// apply folds one slot into the cumulative accumulators. Caller
-// holds mu.
-func (s *Server) apply(step topology.SlotStep) {
-	c := &s.cum
-	c.Slot = step.Slot + 1
-	c.EnergyMJ += step.EnergyMJ
-	c.SlotEnergyMJ = step.EnergyMJ
-	c.ActiveServers = step.ActiveServers
-	c.Violations += step.Violations
-	c.LatencyWeightedViol += step.LatencyWeightedViol
-	c.Migrations += step.Migrations
-	c.CrossDCMigrations += step.CrossDCMigrations
-
-	if c.Slot == 1 {
-		s.minSlot, s.maxSlot = step.EnergyMJ, step.EnergyMJ
-	} else {
-		if step.EnergyMJ < s.minSlot {
-			s.minSlot = step.EnergyMJ
-		}
-		if step.EnergyMJ > s.maxSlot {
-			s.maxSlot = step.EnergyMJ
-		}
-	}
-	// topology.SeriesEPScore semantics over the series so far: a
-	// never-burning fleet is perfectly proportional, not the opposite.
-	if s.maxSlot <= 0 {
-		c.EPScore = 1
-	} else {
-		c.EPScore = 1 - s.minSlot/s.maxSlot
-	}
-
-	for i := range step.DCs {
-		d, v := &c.DCs[i], &step.DCs[i]
-		d.VMs = v.VMs
-		d.EnergyMJ += v.EnergyMJ
-		d.SlotEnergyMJ = v.EnergyMJ
-		// 1 slot = 1 hour: mean power over the slot in watts.
-		d.PowerW = v.EnergyMJ * 1e6 / 3600
-		d.ActiveServers = v.ActiveServers
-		d.Violations += v.Violations
-		d.LatencyWeightedViol += v.LatencyWeightedViol
-		d.Migrations += v.Migrations
-		d.CrossDCMigrations += v.CrossDCMigrations
-	}
+// defaultSession returns the default session (always registered —
+// New fails otherwise, and it cannot be deleted).
+func (s *Server) defaultSession() *Session {
+	sess, _ := s.session(DefaultSessionID)
+	return sess
 }
 
-// whatifSnapshot copies the committed what-if counters.
-func (s *Server) whatifSnapshot() whatifStats {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	return s.wst
+// sessionList returns the live sessions sorted by id — the
+// exposition's deterministic page order.
+func (s *Server) sessionList() []*Session {
+	s.smu.Lock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	s.smu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }

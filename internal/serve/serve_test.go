@@ -51,8 +51,15 @@ func newTestServer(t *testing.T, opt Options) *Server {
 	return s
 }
 
+// def keys a default-session series: every sample now carries the
+// session label first.
+func def(name string, kv ...string) string {
+	return name + "{" + labels(append([]string{"session", "default"}, kv...)...) + "}"
+}
+
 // parseMetrics parses an exposition page into a map keyed by the full
-// series name ("ntc_slot", `ntc_dc_vms{dc="core"}`).
+// series name (`ntc_slot{session="default"}`,
+// `ntc_dc_vms{session="default",dc="core"}`).
 func parseMetrics(t *testing.T, page string) map[string]float64 {
 	t.Helper()
 	out := make(map[string]float64)
@@ -76,15 +83,27 @@ func parseMetrics(t *testing.T, page string) map[string]float64 {
 	return out
 }
 
-// TestGoldenExposition byte-pins the full /metrics page for the triad
-// fleet at slot 8. Any change to metric names, help strings, label
-// sets, float formatting, or the underlying simulation numbers shows
-// up as a byte diff here. Regenerate with: go test ./internal/serve
-// -run TestGoldenExposition -update
+// TestGoldenExposition byte-pins the full /metrics page for two
+// sessions on the triad fleet — the default session at slot 8 and a
+// delta session (static power 30 W) at slot 3 — exercising the
+// session-label sharding and the sorted session page order. Any
+// change to metric names, help strings, label sets, float formatting,
+// or the underlying simulation numbers shows up as a byte diff here.
+// Regenerate with: go test ./internal/serve -run TestGoldenExposition
+// -update
 func TestGoldenExposition(t *testing.T) {
 	s := newTestServer(t, Options{})
 	if _, _, err := s.Step(8); err != nil {
 		t.Fatalf("Step: %v", err)
+	}
+	scenB := s.Scenario()
+	scenB.StaticPowerW = 30
+	sessB, err := s.createSession("bstatic30", false, scenB)
+	if err != nil {
+		t.Fatalf("createSession: %v", err)
+	}
+	if _, _, _, err := sessB.Step(3); err != nil {
+		t.Fatalf("session step: %v", err)
 	}
 
 	var buf bytes.Buffer
@@ -101,7 +120,7 @@ func TestGoldenExposition(t *testing.T) {
 		t.Fatalf("two scrapes at the same slot differ:\nfirst:\n%s\nsecond:\n%s", buf.String(), again.String())
 	}
 
-	golden := filepath.Join("testdata", "metrics_triad_slot8.txt")
+	golden := filepath.Join("testdata", "metrics_sessions.txt")
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
@@ -316,8 +335,8 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	m := scrape()
-	if m["ntc_slot"] != 6 || m["ntc_done"] != 0 {
-		t.Fatalf("scrape at slot 6: slot=%v done=%v", m["ntc_slot"], m["ntc_done"])
+	if m[def("ntc_slot")] != 6 || m[def("ntc_done")] != 0 {
+		t.Fatalf("scrape at slot 6: slot=%v done=%v", m[def("ntc_slot")], m[def("ntc_done")])
 	}
 
 	// Status reports the same position plus the scenario identity.
@@ -344,11 +363,11 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("step to end: %+v", sr)
 	}
 	m2 := scrape()
-	if m2["ntc_slot"] < m["ntc_slot"] {
-		t.Fatalf("slot counter went backwards: %v -> %v", m["ntc_slot"], m2["ntc_slot"])
+	if m2[def("ntc_slot")] < m[def("ntc_slot")] {
+		t.Fatalf("slot counter went backwards: %v -> %v", m[def("ntc_slot")], m2[def("ntc_slot")])
 	}
-	if m2["ntc_done"] != 1 {
-		t.Fatalf("ntc_done = %v at end of replay", m2["ntc_done"])
+	if m2[def("ntc_done")] != 1 {
+		t.Fatalf("ntc_done = %v at end of replay", m2[def("ntc_done")])
 	}
 
 	// Health and method gates.
@@ -419,12 +438,12 @@ func TestWhatIfRejections(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := parseMetrics(t, buf.String())
-	if m["ntc_whatif_rejected"] != float64(len(cases)) {
-		t.Fatalf("ntc_whatif_rejected = %v, want %d", m["ntc_whatif_rejected"], len(cases))
+	if m[def("ntc_whatif_rejected")] != float64(len(cases)) {
+		t.Fatalf("ntc_whatif_rejected = %v, want %d", m[def("ntc_whatif_rejected")], len(cases))
 	}
-	if m["ntc_whatif_requests"] != 0 || m["ntc_whatif_scenarios"] != 0 {
+	if m[def("ntc_whatif_requests")] != 0 || m[def("ntc_whatif_scenarios")] != 0 {
 		t.Fatalf("rejections leaked into accept counters: requests=%v scenarios=%v",
-			m["ntc_whatif_requests"], m["ntc_whatif_scenarios"])
+			m[def("ntc_whatif_requests")], m[def("ntc_whatif_scenarios")])
 	}
 }
 

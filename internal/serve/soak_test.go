@@ -49,14 +49,22 @@ func parseMetricsErr(page string) (map[string]float64, error) {
 	return out, nil
 }
 
+// ses keys a series of an arbitrary session.
+func ses(name, session string) string {
+	return fmt.Sprintf("%s{session=%q}", name, session)
+}
+
 // TestConcurrencySoak is the torn-read and counter-reconciliation
 // soak (run it under -race, as CI does): scrapers and what-if clients
-// hammer the HTTP surface while a ticker goroutine advances the
-// replay. Every scrape must be internally consistent — the gauges on
-// one page all belong to the slot the page reports, checked against a
-// reference replay — and the what-if counters must reconcile on every
-// page, not just at the end. All soak what-ifs run against a
-// pre-warmed cache, so every one of them must report zero executions.
+// hammer the HTTP surface while ticker goroutines advance TWO
+// sessions — the default session and a second session "b" created
+// over HTTP with the empty delta, so both replay the identical
+// scenario and can be checked against one reference replay. Every
+// scrape must be internally consistent per session — the gauges on
+// one page all belong to the slot that session reports — and the
+// what-if counters must reconcile per session on every page, not just
+// at the end. All soak what-ifs run against a pre-warmed cache, so
+// every one of them must report zero executions, on both sessions.
 func TestConcurrencySoak(t *testing.T) {
 	store, err := cache.Open(t.TempDir(), cache.ModeRW)
 	if err != nil {
@@ -64,8 +72,9 @@ func TestConcurrencySoak(t *testing.T) {
 	}
 
 	// Reference replay: the expected cumulative gauges per slot,
-	// bit-exact because the live server accumulates through the
-	// identical code path.
+	// bit-exact because the live sessions accumulate through the
+	// identical code path. One reference serves both sessions — they
+	// replay the same scenario.
 	ref := newTestServer(t, Options{})
 	type slotState struct {
 		energyMJ   float64
@@ -95,25 +104,38 @@ func TestConcurrencySoak(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Second session over HTTP: the empty delta replays the base
+	// scenario under its own stepper.
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"id": "b"}`))
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := readAll(resp)
+		t.Fatalf("POST /v1/sessions: status %d: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+
 	// Warm the cache: one cold request executes its scenarios and
-	// persists them; everything the soak fires afterwards is warm.
+	// persists them; everything the soak fires afterwards — on either
+	// session — is warm.
 	const whatifBody = `{"policies": ["EPACT", "COAT"], "static_power_w": [15, 30]}`
-	postWhatIf := func() (WhatIfResponse, error) {
+	postWhatIf := func(path string) (WhatIfResponse, error) {
 		var wr WhatIfResponse
-		resp, err := http.Post(ts.URL+"/v1/whatif", "application/json", strings.NewReader(whatifBody))
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(whatifBody))
 		if err != nil {
-			return wr, fmt.Errorf("POST /v1/whatif: %w", err)
+			return wr, fmt.Errorf("POST %s: %w", path, err)
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return wr, fmt.Errorf("POST /v1/whatif: status %d", resp.StatusCode)
+			return wr, fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
 			return wr, fmt.Errorf("decoding what-if response: %w", err)
 		}
 		return wr, nil
 	}
-	cold, err := postWhatIf()
+	cold, err := postWhatIf("/v1/whatif")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +154,7 @@ func TestConcurrencySoak(t *testing.T) {
 	)
 
 	var wg sync.WaitGroup
-	errc := make(chan error, scrapers+whatifClients+1)
+	errc := make(chan error, scrapers+whatifClients+2)
 	fail := func(format string, args ...any) {
 		select {
 		case errc <- fmtErrorf(format, args...):
@@ -140,14 +162,46 @@ func TestConcurrencySoak(t *testing.T) {
 		}
 	}
 
-	// Ticker: advance one slot at a time so scrapers see many
-	// distinct intermediate slots.
+	// Tickers: advance both sessions one slot at a time so scrapers
+	// see many distinct intermediate slots per session. The default
+	// session steps in-process; session b steps over HTTP.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for !s.Snapshot().Done {
 			if _, _, err := s.Step(1); err != nil {
 				fail("Step: %v", err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			resp, err := http.Post(ts.URL+"/v1/sessions/b/step", "application/json", strings.NewReader(""))
+			if err != nil {
+				fail("POST /v1/sessions/b/step: %v", err)
+				return
+			}
+			var sr stepResponse
+			code := resp.StatusCode
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if code != http.StatusOK {
+				fail("POST /v1/sessions/b/step: status %d", code)
+				return
+			}
+			if err != nil {
+				fail("decoding session step response: %v", err)
+				return
+			}
+			if sr.Session != "b" {
+				fail("session step answered for %q, want b", sr.Session)
+				return
+			}
+			if sr.Done {
 				return
 			}
 			time.Sleep(500 * time.Microsecond)
@@ -174,44 +228,49 @@ func TestConcurrencySoak(t *testing.T) {
 					fail("parsing /metrics: %v", err)
 					return
 				}
-				slot := int(m["ntc_slot"])
-				if slot < 0 || slot > slots {
-					fail("scraped slot %d out of range [0,%d]", slot, slots)
-					return
+				for _, id := range []string{"default", "b"} {
+					slot := int(m[ses("ntc_slot", id)])
+					if slot < 0 || slot > slots {
+						fail("session %s: scraped slot %d out of range [0,%d]", id, slot, slots)
+						return
+					}
+					// Torn-read check: every gauge on the page must be
+					// the reference value for the session's own slot.
+					want := expected[slot]
+					if got := m[ses("ntc_fleet_energy_mj", id)]; got != want.energyMJ {
+						fail("session %s slot %d: energy %v, want %v (torn snapshot?)", id, slot, got, want.energyMJ)
+						return
+					}
+					if got := m[ses("ntc_fleet_violations", id)]; got != want.violations {
+						fail("session %s slot %d: violations %v, want %v", id, slot, got, want.violations)
+						return
+					}
+					if got := m[ses("ntc_fleet_latency_weighted_viol", id)]; got != want.lwViol {
+						fail("session %s slot %d: latency-weighted viol %v, want %v", id, slot, got, want.lwViol)
+						return
+					}
+					if got := m[ses("ntc_fleet_migrations", id)]; got != want.migrations {
+						fail("session %s slot %d: migrations %v, want %v", id, slot, got, want.migrations)
+						return
+					}
+					if got := m[ses("ntc_fleet_cross_dc_migrations", id)]; got != want.crossDC {
+						fail("session %s slot %d: cross-DC migrations %v, want %v", id, slot, got, want.crossDC)
+						return
+					}
+					// Counter reconciliation holds per session on EVERY
+					// page because what-if counters commit as one
+					// transaction.
+					if m[ses("ntc_whatif_scenarios", id)] != m[ses("ntc_whatif_executed", id)]+m[ses("ntc_whatif_cache_hits", id)] {
+						fail("session %s whatif counters torn: scenarios=%v executed=%v hits=%v", id,
+							m[ses("ntc_whatif_scenarios", id)], m[ses("ntc_whatif_executed", id)], m[ses("ntc_whatif_cache_hits", id)])
+						return
+					}
 				}
-				// Torn-read check: every gauge on the page must be the
-				// reference value for the page's own slot.
-				want := expected[slot]
-				if m["ntc_fleet_energy_mj"] != want.energyMJ {
-					fail("slot %d: energy %v, want %v (torn snapshot?)", slot, m["ntc_fleet_energy_mj"], want.energyMJ)
-					return
-				}
-				if m["ntc_fleet_violations"] != want.violations {
-					fail("slot %d: violations %v, want %v", slot, m["ntc_fleet_violations"], want.violations)
-					return
-				}
-				if m["ntc_fleet_latency_weighted_viol"] != want.lwViol {
-					fail("slot %d: latency-weighted viol %v, want %v", slot, m["ntc_fleet_latency_weighted_viol"], want.lwViol)
-					return
-				}
-				if m["ntc_fleet_migrations"] != want.migrations {
-					fail("slot %d: migrations %v, want %v", slot, m["ntc_fleet_migrations"], want.migrations)
-					return
-				}
-				if m["ntc_fleet_cross_dc_migrations"] != want.crossDC {
-					fail("slot %d: cross-DC migrations %v, want %v", slot, m["ntc_fleet_cross_dc_migrations"], want.crossDC)
-					return
-				}
-				// Counter reconciliation holds on EVERY page because
-				// what-if counters commit as one transaction.
-				if m["ntc_whatif_scenarios"] != m["ntc_whatif_executed"]+m["ntc_whatif_cache_hits"] {
-					fail("whatif counters torn: scenarios=%v executed=%v hits=%v",
-						m["ntc_whatif_scenarios"], m["ntc_whatif_executed"], m["ntc_whatif_cache_hits"])
-					return
-				}
-				// Nothing after the cold warm-up may execute.
-				if m["ntc_whatif_executed"] != 4 {
-					fail("executed grew past the warm-up: %v", m["ntc_whatif_executed"])
+				// Nothing after the cold warm-up may execute, on either
+				// session.
+				if m[ses("ntc_whatif_executed", "default")] != 4 || m[ses("ntc_whatif_executed", "b")] != 0 {
+					fail("executed grew past the warm-up: default=%v b=%v",
+						m[ses("ntc_whatif_executed", "default")], m[ses("ntc_whatif_executed", "b")])
 					return
 				}
 			}
@@ -223,9 +282,19 @@ func TestConcurrencySoak(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < whatifsEach; i++ {
-				wr, err := postWhatIf()
+				// Alternate targets: even iterations hit the default
+				// session's alias, odd ones hit session b.
+				path, want := "/v1/whatif", "default"
+				if i%2 == 1 {
+					path, want = "/v1/sessions/b/whatif", "b"
+				}
+				wr, err := postWhatIf(path)
 				if err != nil {
 					fail("%v", err)
+					return
+				}
+				if wr.Session != want {
+					fail("what-if answered for session %q, want %q", wr.Session, want)
 					return
 				}
 				if wr.Executed != 0 || wr.CacheHits != wr.Scenarios {
@@ -249,35 +318,50 @@ func TestConcurrencySoak(t *testing.T) {
 	}
 
 	// Quiescent reconciliation: the store's traffic must match the
-	// what-if accounting exactly — every hit was a what-if cache hit,
-	// every miss executed, every execution was written back.
+	// summed per-session what-if accounting exactly — every hit was
+	// some session's what-if cache hit, every miss executed, every
+	// execution was written back.
 	var buf bytes.Buffer
 	if err := s.WriteMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	m := parseMetrics(t, buf.String())
-	if m["ntc_slot"] != float64(slots) || m["ntc_done"] != 1 {
-		t.Fatalf("replay did not finish: slot=%v done=%v", m["ntc_slot"], m["ntc_done"])
+	for _, id := range []string{"default", "b"} {
+		if m[ses("ntc_slot", id)] != float64(slots) || m[ses("ntc_done", id)] != 1 {
+			t.Fatalf("session %s replay did not finish: slot=%v done=%v", id, m[ses("ntc_slot", id)], m[ses("ntc_done", id)])
+		}
 	}
-	wantHits := float64(whatifClients * whatifsEach * 4)
-	if m["ntc_whatif_cache_hits"] != wantHits {
-		t.Fatalf("ntc_whatif_cache_hits = %v, want %v", m["ntc_whatif_cache_hits"], wantHits)
+	// 3 clients x 10 requests, alternating: 15 warm requests per
+	// session, 4 scenarios each.
+	perSession := float64(whatifClients * whatifsEach / 2 * 4)
+	for _, id := range []string{"default", "b"} {
+		if m[ses("ntc_whatif_cache_hits", id)] != perSession {
+			t.Fatalf("session %s: ntc_whatif_cache_hits = %v, want %v", id, m[ses("ntc_whatif_cache_hits", id)], perSession)
+		}
+	}
+	sum := func(name string) float64 {
+		return m[ses(name, "default")] + m[ses(name, "b")]
 	}
 	st := store.Stats()
-	if float64(st.Hits) != m["ntc_whatif_cache_hits"] {
-		t.Fatalf("store hits %d != what-if cache hits %v", st.Hits, m["ntc_whatif_cache_hits"])
+	if float64(st.Hits) != sum("ntc_whatif_cache_hits") {
+		t.Fatalf("store hits %d != summed what-if cache hits %v", st.Hits, sum("ntc_whatif_cache_hits"))
 	}
-	if float64(st.Misses) != m["ntc_whatif_executed"] {
-		t.Fatalf("store misses %d != what-if executions %v", st.Misses, m["ntc_whatif_executed"])
+	if float64(st.Misses) != sum("ntc_whatif_executed") {
+		t.Fatalf("store misses %d != summed what-if executions %v", st.Misses, sum("ntc_whatif_executed"))
 	}
 	if st.Writes != st.Misses {
 		t.Fatalf("store writes %d != misses %d (executions not persisted?)", st.Writes, st.Misses)
 	}
-	if m["ntc_cache_hits"] != float64(st.Hits) || m["ntc_cache_misses"] != float64(st.Misses) || m["ntc_cache_writes"] != float64(st.Writes) {
+	// The label-sharded cache gauges attribute the same traffic per
+	// session; summed they equal the store's counters.
+	if sum("ntc_cache_hits") != float64(st.Hits) || sum("ntc_cache_misses") != float64(st.Misses) || sum("ntc_cache_writes") != float64(st.Writes) {
 		t.Fatalf("cache gauges drifted from store stats: page hits=%v misses=%v writes=%v, store %+v",
-			m["ntc_cache_hits"], m["ntc_cache_misses"], m["ntc_cache_writes"], st)
+			sum("ntc_cache_hits"), sum("ntc_cache_misses"), sum("ntc_cache_writes"), st)
 	}
-	if m["ntc_whatif_requests"] != float64(1+whatifClients*whatifsEach) {
-		t.Fatalf("ntc_whatif_requests = %v, want %d", m["ntc_whatif_requests"], 1+whatifClients*whatifsEach)
+	if m[ses("ntc_whatif_requests", "default")] != float64(1+whatifClients*whatifsEach/2) {
+		t.Fatalf("default ntc_whatif_requests = %v, want %d", m[ses("ntc_whatif_requests", "default")], 1+whatifClients*whatifsEach/2)
+	}
+	if m[ses("ntc_whatif_requests", "b")] != float64(whatifClients*whatifsEach/2) {
+		t.Fatalf("b ntc_whatif_requests = %v, want %d", m[ses("ntc_whatif_requests", "b")], whatifClients*whatifsEach/2)
 	}
 }

@@ -3,6 +3,7 @@ package sweep
 import (
 	"encoding/json"
 
+	"repro/internal/dcsim"
 	"repro/internal/sweep/cache"
 	"repro/internal/topology"
 )
@@ -56,6 +57,33 @@ func (r *Runner) Exec(s Scenario) RunResult { return runScenario(r.ld, r.grid, s
 func (r *Runner) StepperConfig(s Scenario) (topology.Config, error) {
 	cfg, _, err := fleetConfig(r.ld, r.grid, s)
 	return cfg, err
+}
+
+// LiveStepperConfig resolves one scenario into a live-ingestion
+// stepper config: the same inputs StepperConfig resolves, except the
+// trace's evaluation region and the prediction set are owned by the
+// returned dcsim.LiveFeed — the scenario's trace supplies the history
+// window and the VM population, observed samples arrive through
+// LiveFeed.Observe, and the config's Source gates the stepper so it
+// can never outrun ingestion. The feed keeps predictions bit-exact
+// with what a batch run over the fully ingested trace would compute.
+func (r *Runner) LiveStepperConfig(s Scenario) (topology.Config, *dcsim.LiveFeed, error) {
+	cfg, _, err := fleetConfig(r.ld, r.grid, s)
+	if err != nil {
+		return topology.Config{}, nil, err
+	}
+	pred, err := newPredictor(s.Predictor)
+	if err != nil {
+		return topology.Config{}, nil, err
+	}
+	feed, err := dcsim.NewLiveFeed(cfg.Trace, pred, s.HistoryDays, s.EvalDays)
+	if err != nil {
+		return topology.Config{}, nil, err
+	}
+	cfg.Trace = feed.Trace()
+	cfg.Predictions = feed.Predictions()
+	cfg.Source = feed
+	return cfg, feed, nil
 }
 
 // CachedExec answers the scenario from the result store when it can,

@@ -61,6 +61,15 @@ type Config struct {
 	// the rebalancer moves VMs across DCs, so the static path never
 	// reads it. Negative values clamp to 0.
 	MigrationDowntimeSamples int
+
+	// Source, when non-nil, gates the fleet replay on data
+	// availability: Stepper.Step refuses (with an error wrapping
+	// dcsim.ErrAwaitingSamples, without advancing or poisoning) to
+	// simulate an evaluation slot the source has not released. The
+	// gate sits at the fleet level — epoch re-dispatch observes
+	// ingested samples, so an epoch never opens before its boundary
+	// slot is released. Batch replays leave it nil.
+	Source dcsim.SlotSource
 }
 
 // DCRun is one datacenter's outcome within a fleet run.

@@ -142,10 +142,16 @@ func (st *Stepper) Slots() int { return st.totalSlots }
 // Done reports whether every slot has been stepped.
 func (st *Stepper) Done() bool { return st.next >= st.totalSlots }
 
-// Step simulates the next fleet slot and returns its live view.
+// Step simulates the next fleet slot and returns its live view. With
+// a Config.Source that has not released the next slot, Step returns
+// an error wrapping dcsim.ErrAwaitingSamples and advances nothing —
+// the one refusal that does not poison the stepper.
 func (st *Stepper) Step() (SlotStep, error) {
 	if st.Done() {
 		return SlotStep{}, fmt.Errorf("topology: stepper exhausted: all %d slots stepped", st.totalSlots)
+	}
+	if src := st.cfg.Source; src != nil && !src.SlotReady(st.next) {
+		return SlotStep{}, fmt.Errorf("topology: evaluation slot %d: %w", st.next, dcsim.ErrAwaitingSamples)
 	}
 	if st.reb != nil {
 		return st.stepRebalanced()

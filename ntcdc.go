@@ -181,18 +181,26 @@ type (
 	FleetSlotStep = topology.SlotStep
 
 	// FleetService is the live fleet service behind ntc-serve: it
-	// replays one sweep scenario on the incremental stepper, serves
-	// an OpenMetrics exposition, and answers what-if scenario deltas
-	// from the result cache (internal/serve; docs/SERVING.md).
+	// hosts concurrent sessions, each replaying one sweep scenario on
+	// the incremental stepper (or live-ingested telemetry), serves one
+	// session-labelled OpenMetrics exposition, and answers per-session
+	// what-if deltas and mid-replay forks from the result cache
+	// (internal/serve; docs/SERVING.md).
 	FleetService = serve.Server
 
 	// FleetServiceOptions configures NewFleetService: the base grid
-	// (which must expand to exactly one scenario), an optional
-	// result store for what-ifs, and the what-if bounds.
+	// (which must expand to exactly one scenario — the default
+	// session), an optional result store for what-ifs, the what-if
+	// bounds, and the concurrent-session bound.
 	FleetServiceOptions = serve.Options
 
+	// FleetSession is one live scenario session of a FleetService:
+	// its own replay position, what-if accounting, and slice of the
+	// metrics page.
+	FleetSession = serve.Session
+
 	// FleetSnapshot is one consistent, slot-stamped view of a live
-	// replay (everything in it was computed at the same slot).
+	// session (everything in it was computed at the same slot).
 	FleetSnapshot = serve.Snapshot
 )
 
