@@ -264,6 +264,36 @@ func BenchmarkFleetRebalance(b *testing.B) {
 	}
 }
 
+// BenchmarkCarbonFleetWeek measures the carbon layer's unit of work:
+// a follow-the-sun scenario on the triad-carbon fleet — carbon-greedy
+// dispatch re-ranked at every 6-slot epoch's hour of day, per-slot
+// grid-intensity pricing and embodied accrual — next to
+// BenchmarkFleetRebalance's energy-only rebalancing cost.
+func BenchmarkCarbonFleetWeek(b *testing.B) {
+	g := sweep.Grid{
+		Policies:   []string{"EPACT"},
+		VMs:        []int{100},
+		MaxServers: []int{100},
+		EvalDays:   2,
+		Seeds:      []int64{2018},
+		Predictors: []string{"oracle"},
+		Topologies: []string{"carbon-greedy@triad-carbon"},
+		Rebalances: []string{"epoch:6@carbon-greedy"},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Failed(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs[0].OperationalGCO2 <= 0 || res.Runs[0].EmbodiedGCO2 <= 0 {
+			b.Fatal("carbon accounting inert")
+		}
+	}
+}
+
 // BenchmarkDistLocalSweep runs the same 24-scenario grid through the
 // distributed coordinator/worker protocol (in-process transport, 4
 // workers) — the overhead of leasing, JSON rows and deterministic

@@ -93,6 +93,7 @@ func setup(args []string, stderr io.Writer) (*serve.Server, net.Listener, time.D
 			Traces:         []string{*fl.trace},
 			Topologies:     []string{*fl.topology},
 			Rebalances:     []string{*fl.rebalance},
+			PowerModels:    []string{*fl.powerModel},
 		},
 		Cache:              store,
 		MaxWhatIfScenarios: *fl.whatifMax,
@@ -156,6 +157,7 @@ type flags struct {
 	trace         *string
 	topology      *string
 	rebalance     *string
+	powerModel    *string
 	cacheMode     *string
 	cacheDir      *string
 	whatifMax     *int
@@ -183,6 +185,7 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *flags) {
 		trace:         fs.String("trace", "synthetic", "trace backend spec (synthetic, csv:file, cluster:file)"),
 		topology:      fs.String("topology", "single", "fleet topology ([dispatcher@]builtin or [dispatcher@]fleet.json)"),
 		rebalance:     fs.String("rebalance", "off", `cross-DC rebalance spec ("off" or "epoch:N[@dispatcher]")`),
+		powerModel:    fs.String("power-model", "ntc", "server power model (ntc, tdp); changes energy/carbon pricing only, never placement"),
 		cacheMode:     fs.String("cache", "off", "what-if result cache: off, rw (read+write), ro (read-only)"),
 		cacheDir:      fs.String("cache-dir", "", "result-cache directory (required unless -cache off)"),
 		whatifMax:     fs.Int("whatif-max", serve.DefaultMaxWhatIfScenarios, "max scenarios one what-if request may expand to"),

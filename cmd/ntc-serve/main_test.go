@@ -54,6 +54,7 @@ func TestSetupRejectsBadFlags(t *testing.T) {
 		{"bad-rebalance", smallArgs("-rebalance", "epoch:zero")},
 		{"bad-cache-mode", smallArgs("-cache", "sideways")},
 		{"cache-without-dir", smallArgs("-cache", "rw")},
+		{"bad-power-model", smallArgs("-power-model", "sdp")},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

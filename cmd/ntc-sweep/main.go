@@ -58,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/power"
 	"repro/internal/sweep"
 	"repro/internal/sweep/cache"
 	"repro/internal/sweep/dist"
@@ -93,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traces      = fs.String("trace", "synthetic", "comma-separated trace backends ("+strings.Join(trace.Backends(), ", ")+"), e.g. synthetic,csv:week.csv")
 		topologies  = fs.String("topology", "single", "comma-separated fleet topologies ([dispatcher@]builtin or [dispatcher@]fleet.json; dispatchers: "+strings.Join(topology.DispatcherNames(), ", ")+"), e.g. single,greedy-proportional@triad")
 		rebalances  = fs.String("rebalance", "off", `comma-separated cross-DC rebalance specs ("off" or "epoch:N[@dispatcher]"), e.g. off,epoch:4@greedy-proportional`)
+		powerModels = fs.String("power-model", "ntc", "comma-separated server power models ("+strings.Join(power.ModelNames(), ", ")+"); changes energy/carbon pricing only, never placement")
 		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cacheMode   = fs.String("cache", "off", "incremental result cache: off, rw (read+write), ro (read-only)")
 		cacheDir    = fs.String("cache-dir", "", "result-cache directory (required unless -cache off)")
@@ -225,7 +227,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		var err error
 		if g, err = gridFromFlags(*policies, *vms, *maxServers, *seeds, *static,
-			*predictors, *transitions, *churn, *traces, *topologies, *rebalances, *days, *history); err != nil {
+			*predictors, *transitions, *churn, *traces, *topologies, *rebalances,
+			*powerModels, *days, *history); err != nil {
 			return err
 		}
 	}
@@ -366,7 +369,7 @@ func firstAxisFlag(fs *flag.FlagSet) string {
 		"policies": true, "vms": true, "max-servers": true, "days": true,
 		"history": true, "seeds": true, "static": true, "predictors": true,
 		"transitions": true, "churn": true, "trace": true, "topology": true,
-		"rebalance": true,
+		"rebalance": true, "power-model": true,
 	}
 	conflict := ""
 	fs.Visit(func(f *flag.Flag) {
@@ -387,13 +390,14 @@ func printDistStats(w io.Writer, s dist.Stats) {
 }
 
 // gridFromFlags assembles a grid from the comma-separated axis flags.
-func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces, topologies, rebalances string, days, history int) (sweep.Grid, error) {
+func gridFromFlags(policies, vms, maxServers, seeds, static, predictors, transitions, churn, traces, topologies, rebalances, powerModels string, days, history int) (sweep.Grid, error) {
 	g := sweep.Grid{
 		Policies:    splitList(policies),
 		Predictors:  splitList(predictors),
 		Traces:      splitList(traces),
 		Topologies:  splitList(topologies),
 		Rebalances:  splitList(rebalances),
+		PowerModels: splitList(powerModels),
 		EvalDays:    days,
 		HistoryDays: history,
 	}

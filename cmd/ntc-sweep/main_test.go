@@ -114,10 +114,14 @@ func TestCSVTraceAxisGolden(t *testing.T) {
 	// the plain simulation bit-for-bit; only the provenance columns
 	// (topology, dc_count, ep_score, per_dc with the axis, then
 	// rebalance, cross_dc_migrations, latency_weighted_viol under
-	// schema v3) were appended.
+	// schema v3, then power_model, operational_gco2, embodied_gco2
+	// under schema v4) were appended. The nonzero operational gCO2
+	// is the default grid intensity (400 gCO2eq/kWh) pricing the same
+	// facility energy; embodied stays zero until a fleet declares
+	// manufacturing carbon.
 	golden := []struct{ prefix, suffix string }{
-		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,single,1,0.482606,,off,0,0.000000,"},
-		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,single,1,0.231086,,off,0,0.000000,"},
+		{"EPACT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,5.525656,0.000000,0,1.041667,2,0,1.783333,single,1,0.482606,,off,0,0.000000,ntc,613.961726,0.000000,"},
+		{"COAT,oracle,none,csv:", ",24,24,1,2018,0,0,0,24,11.471419,0.000000,0,1.000000,1,0,3.100000,single,1,0.231086,,off,0,0.000000,ntc,1274.602107,0.000000,"},
 	}
 	for i, want := range golden {
 		row := lines[i+1]
@@ -176,13 +180,13 @@ func TestFleetSweepGoldenDeterministicAndCached(t *testing.T) {
 	}
 
 	golden := []string{
-		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,error",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,22.115386,0.000000,0,3.708333,5,0,1.887500,greedy-proportional@triad,3,0.295219,core=22.115;metro=0.000;edge=0.000,off,0,0.000000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,38.874682,0.000000,0,2.541667,3,0,3.100000,greedy-proportional@triad,3,0.275486,core=38.875;metro=0.000;edge=0.000,off,0,0.000000,",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,79.073546,0.000000,0,6.166667,7,0,1.820660,follow-the-load@triad,3,0.321275,core=4.377;metro=7.586;edge=67.110,off,0,0.000000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,93.818028,0.000000,0,5.666667,6,0,2.706250,follow-the-load@triad,3,0.203881,core=10.566;metro=15.361;edge=67.891,off,0,0.000000,",
+		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,power_model,operational_gco2,embodied_gco2,error",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,ntc,5310.984591,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,ntc,7578.252361,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,22.115386,0.000000,0,3.708333,5,0,1.887500,greedy-proportional@triad,3,0.295219,core=22.115;metro=0.000;edge=0.000,off,0,0.000000,ntc,2457.265127,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,38.874682,0.000000,0,2.541667,3,0,3.100000,greedy-proportional@triad,3,0.275486,core=38.875;metro=0.000;edge=0.000,off,0,0.000000,ntc,4319.409158,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,79.073546,0.000000,0,6.166667,7,0,1.820660,follow-the-load@triad,3,0.321275,core=4.377;metro=7.586;edge=67.110,off,0,0.000000,ntc,8785.949585,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,93.818028,0.000000,0,5.666667,6,0,2.706250,follow-the-load@triad,3,0.203881,core=10.566;metro=15.361;edge=67.891,off,0,0.000000,ntc,10424.225296,0.000000,",
 	}
 	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
 	if len(lines) != len(golden) {
@@ -242,11 +246,11 @@ func TestRebalanceSweepGoldenDeterministicAndCached(t *testing.T) {
 	}
 
 	golden := []string{
-		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,error",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,",
-		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,24.811255,0.000000,23,3.833333,5,0,1.852431,uniform@triad,3,0.486770,core=20.635;metro=1.172;edge=3.004,epoch:4@greedy-proportional,23,92.000000,",
-		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,42.170355,0.000000,23,2.750000,4,0,3.078125,uniform@triad,3,0.441364,core=36.566;metro=2.434;edge=3.169,epoch:4@greedy-proportional,23,92.000000,",
+		"policy,predictor,transitions,trace,vms,max_servers,eval_days,seed,static_power_w,churn_fraction,churn_affected_vms,slots,total_energy_mj,transition_mj,violations,mean_active,peak_active,migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc,rebalance,cross_dc_migrations,latency_weighted_viol,power_model,operational_gco2,embodied_gco2,error",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,47.798861,0.000000,0,5.250000,7,0,1.712240,uniform@triad,3,0.409038,core=12.056;metro=7.699;edge=28.043,off,0,0.000000,ntc,5310.984591,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,68.204271,0.000000,0,4.458333,5,0,2.968750,uniform@triad,3,0.347015,core=23.830;metro=15.445;edge=28.929,off,0,0.000000,ntc,7578.252361,0.000000,",
+		"EPACT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,24.811255,0.000000,23,3.833333,5,0,1.852431,uniform@triad,3,0.486770,core=20.635;metro=1.172;edge=3.004,epoch:4@greedy-proportional,23,92.000000,ntc,2756.806163,0.000000,",
+		"COAT,oracle,none,synthetic,48,48,1,2018,0,0,0,24,42.170355,0.000000,23,2.750000,4,0,3.078125,uniform@triad,3,0.441364,core=36.566;metro=2.434;edge=3.169,epoch:4@greedy-proportional,23,92.000000,ntc,4685.595047,0.000000,",
 	}
 	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
 	if len(lines) != len(golden) {
@@ -602,6 +606,8 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		{"unknown-topology", []string{"-topology", "bogus"}, `unknown fleet "bogus"`},
 		{"unknown-dispatcher", []string{"-topology", "warp@triad"}, `unknown dispatcher "warp"`},
 		{"grid-plus-topology-flag", []string{"-grid", "g.json", "-topology", "triad"}, "mutually exclusive"},
+		{"unknown-power-model", []string{"-power-model", "sdp"}, `unknown power model "sdp"`},
+		{"grid-plus-power-model-flag", []string{"-grid", "g.json", "-power-model", "tdp"}, "mutually exclusive"},
 		{"unknown-rebalance", []string{"-rebalance", "hourly"}, "unknown rebalance spec"},
 		{"zero-epoch-rebalance", []string{"-rebalance", "epoch:0"}, "positive slot count"},
 		{"rebalance-bad-dispatcher", []string{"-rebalance", "epoch:4@warp"}, `unknown dispatcher "warp"`},
@@ -655,6 +661,27 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		err := run([]string{"-dist", "local:2", "-resume", dir}, &stdout, &stderr)
 		if err == nil || !strings.Contains(err.Error(), "decoding checkpoint") {
 			t.Fatalf("corrupt journal error = %v, want a loud decode failure", err)
+		}
+	})
+
+	// A malformed grid-intensity profile in a fleet file is a
+	// scenario-level failure whose message carries the line number of
+	// the offending entry, so a bad DC in a long hand-written fleet
+	// file is findable.
+	t.Run("malformed-intensity-profile", func(t *testing.T) {
+		fleetPath := filepath.Join(t.TempDir(), "bad.json")
+		body := "{\"name\":\"bad\",\"dcs\":[\n{\"name\":\"a\",\n\"grid_intensity\":[1,2,3]}]}"
+		if err := os.WriteFile(fleetPath, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-topology", "uniform@" + fleetPath, "-vms", "10", "-days", "1", "-history", "1",
+			"-policies", "EPACT", "-predictors", "oracle", "-quiet"}, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), "want 24") {
+			t.Fatalf("malformed profile error = %v, want the 24-hour shape complaint", err)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("malformed profile error %q carries no line number", err)
 		}
 	})
 

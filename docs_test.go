@@ -81,7 +81,7 @@ func TestREADMELinksDesignDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md", "docs/DISTRIBUTED.md", "docs/SERVING.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/TRACES.md", "docs/TOPOLOGY.md", "docs/DISTRIBUTED.md", "docs/SERVING.md", "docs/CARBON.md"} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("README.md does not link %s", want)
 		}
@@ -189,6 +189,73 @@ func TestDocsPinServing(t *testing.T) {
 		if !strings.Contains(string(serving), want) {
 			t.Errorf("docs/SERVING.md lost the marker %q", want)
 		}
+	}
+}
+
+// TestDocsPinCarbon pins the carbon-layer documentation: the
+// power-model axis, the per-DC carbon fields, the carbon-greedy
+// dispatcher and the v4 schema bump are user-facing contracts (flags,
+// fleet JSON, result columns, gauge names), and CARBON.md, the
+// README's flag rows and TOPOLOGY.md's fleet tables must survive
+// future edits.
+func TestDocsPinCarbon(t *testing.T) {
+	carbon, err := os.ReadFile("docs/CARBON.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## Power models (`power-model` axis)",
+		"## Per-DC carbon accounting",
+		"## Carbon-optimizing dispatch",
+		"## Schema v4 and caching",
+		"12/32/75/102% of TDP",
+		"0.38 W/GB",
+		"`grid_intensity`",
+		"`embodied_kg_per_vcpu`",
+		"`operational_gco2`",
+		"`ntc_carbon_*`",
+		"`carbon-greedy`",
+		"`triad-carbon`",
+		"`sweep-result-v4`",
+		"TestPowerModelAxisChangesPricingNotPlacement",
+		"TestStaleV3EntriesNeverAnswerV4",
+	} {
+		if !strings.Contains(string(carbon), want) {
+			t.Errorf("docs/CARBON.md lost the marker %q", want)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"`-power-model`",
+		"## Carbon-aware modeling",
+		"docs/CARBON.md",
+	} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md lost the carbon marker %q", want)
+		}
+	}
+	topo, err := os.ReadFile("docs/TOPOLOGY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"`carbon-greedy`",
+		"`triad-carbon`",
+		"`grid_intensity`",
+	} {
+		if !strings.Contains(string(topo), want) {
+			t.Errorf("docs/TOPOLOGY.md lost the carbon marker %q", want)
+		}
+	}
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "`sweep-result-v4`") {
+		t.Error("docs/ARCHITECTURE.md no longer documents the v4 schema version")
 	}
 }
 

@@ -46,8 +46,9 @@ import (
 // TestAllocate1DMatchesReference / TestAllocateCase2MatchesReference).
 type EPACT struct {
 	// Model is the server power model used by the Eq. 1 / case-1
-	// frequency search.
-	Model *power.ServerModel
+	// frequency search. Any power.Model works; the FDSOI ServerModel
+	// is the paper's default.
+	Model power.Model
 
 	// Model-derived caches, built lazily on first Allocate. They hold
 	// pure functions of the (immutable) model — the most

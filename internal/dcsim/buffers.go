@@ -21,11 +21,13 @@ const numClasses = 3
 //
 // The tables exploit that the online governor only ever requests
 // frequencies ClampFrequency snaps onto the server's finite DVFS grid:
-// observables (perf.Table), power coefficients (power.LevelPower) and
-// the capacity scale factor are precomputed once per level and indexed
-// by power.ServerModel.LevelIndex in the loop, bit-identical to
-// calling perf.Observe / ServerModel.Power at the clamped frequency
-// (see the property tests in internal/power and internal/perf).
+// observables (perf.Table), power coefficients (power.LevelEvaluator)
+// and the capacity scale factor are precomputed once per level through
+// the power.Model interface and indexed by Model.LevelIndex in the
+// loop, bit-identical to calling perf.Observe / Model.Power at the
+// clamped frequency (see the property tests in internal/power and
+// internal/perf). Evaluators are boxed once at table-build time, so
+// the steady-state loop stays allocation-free under any power model.
 type runState struct {
 	cfg  *Config
 	spec alloc.ServerSpec
@@ -53,8 +55,16 @@ type runState struct {
 	// evaluation per sample.
 	grid        []units.Frequency
 	obs         *perf.Table
-	levelPowers []power.LevelPower
+	levelPowers []power.LevelEvaluator
 	scaleByLvl  []float64
+
+	// fixedEval caches the evaluator for a fixed-cap policy's pinned
+	// frequency (which need not lie on the grid): building it through
+	// the interface boxes an allocation, so it is reused across slots
+	// as long as the planned frequency does not change — keeping the
+	// slot loop allocation-free for COAT-OPT-style policies too.
+	fixedEval     power.LevelEvaluator
+	fixedEvalFreq units.Frequency
 
 	// Columnar replay scratch: per-sample aggregates of one server's
 	// slot window, rebuilt per server from flat trace rows.
@@ -71,10 +81,10 @@ func newRunState(cfg *Config) (*runState, error) {
 		return nil, err
 	}
 	spec := alloc.ServerSpec{
-		Cores:         cfg.Server.Cores,
-		MemContainers: cfg.Server.DRAM.Capacity.GB(),
-		FMax:          cfg.Server.FMax,
-		FMin:          cfg.Server.FMin,
+		Cores:         cfg.Server.NumCores(),
+		MemContainers: cfg.Server.MemGB(),
+		FMax:          cfg.Server.FreqMax(),
+		FMin:          cfg.Server.FreqMin(),
 	}
 	slots := cfg.EvalDays * trace.SamplesPerDay / trace.SamplesPerSlot
 	first, last := cfg.StartSlot, slots
@@ -99,10 +109,10 @@ func newRunState(cfg *Config) (*runState, error) {
 	if grid := cfg.Server.DVFSGrid(); grid != nil {
 		st.grid = grid
 		st.obs = perf.NewTable(cfg.Platform, grid, 1)
-		st.levelPowers = make([]power.LevelPower, len(grid))
+		st.levelPowers = make([]power.LevelEvaluator, len(grid))
 		st.scaleByLvl = make([]float64, len(grid))
 		for k, f := range grid {
-			st.levelPowers[k] = cfg.Server.LevelPowerAt(f)
+			st.levelPowers[k] = cfg.Server.LevelAt(f)
 			st.scaleByLvl[k] = spec.FMax.GHz() / f.GHz()
 		}
 	}
@@ -207,13 +217,17 @@ func (st *runState) replaySlot(asg *alloc.Assignment, absLo int) SlotResult {
 	// need not lie on the DVFS grid: evaluate its observables and
 	// power coefficients once for the whole slot instead.
 	var fixedObs [numClasses]perf.Observables
-	var fixedLP power.LevelPower
+	var fixedLP power.LevelEvaluator
 	var fixedScale float64
 	if asg.FixedFreq {
 		for c := 0; c < numClasses; c++ {
 			fixedObs[c] = perf.Observe(cfg.Platform, workload.Class(c), asg.PlannedFreq, 1)
 		}
-		fixedLP = cfg.Server.LevelPowerAt(asg.PlannedFreq)
+		if st.fixedEval == nil || st.fixedEvalFreq != asg.PlannedFreq {
+			st.fixedEval = cfg.Server.LevelAt(asg.PlannedFreq)
+			st.fixedEvalFreq = asg.PlannedFreq
+		}
+		fixedLP = st.fixedEval
 		fixedScale = spec.FMax.GHz() / asg.PlannedFreq.GHz()
 	}
 

@@ -29,8 +29,9 @@ type Config struct {
 	// Policy allocates VMs each slot.
 	Policy alloc.Policy
 
-	// Server is the power model of every machine in the pool.
-	Server *power.ServerModel
+	// Server is the power model of every machine in the pool (any
+	// power.Model; the FDSOI ServerModel is the default).
+	Server power.Model
 
 	// Platform supplies the performance observables (WFM fractions,
 	// memory traffic) per workload class.

@@ -45,6 +45,12 @@ type FleetWeekRow struct {
 	CrossDCMigrations   int
 	LatencyWeightedViol float64
 
+	// OperationalGCO2 and EmbodiedGCO2 are the fleet's carbon columns
+	// (grid-intensity-priced facility energy; amortized manufacturing
+	// carbon per powered-on server-hour).
+	OperationalGCO2 float64
+	EmbodiedGCO2    float64
+
 	// PerDC carries the per-datacenter provenance, fleet spec order.
 	PerDC []sweep.DCResult
 }
@@ -123,6 +129,8 @@ func FleetWeek(cfg FleetWeekConfig) ([]FleetWeekRow, error) {
 			MeanActive:          r.MeanActive,
 			CrossDCMigrations:   r.CrossDCMigrations,
 			LatencyWeightedViol: r.LatencyWeightedViol,
+			OperationalGCO2:     r.OperationalGCO2,
+			EmbodiedGCO2:        r.EmbodiedGCO2,
 			PerDC:               r.PerDC,
 		})
 	}

@@ -25,12 +25,16 @@ func TestFleetWeekGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("got %d rows, want 6 (3 dispatchers × 2 policies)", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8 (4 dispatchers × 2 policies)", len(rows))
 	}
 
 	// Golden fleet energies (MJ), pinned alongside the paper-figure
-	// goldens; they match cmd/ntc-sweep's fleet golden rows.
+	// goldens; they match cmd/ntc-sweep's fleet golden rows. On the
+	// legacy triad every DC carries the default grid intensity, so
+	// carbon-greedy's PUE×intensity ranking degenerates to a PUE
+	// ranking that picks the same core-first fill as
+	// greedy-proportional — identical energies by construction.
 	want := []struct {
 		dispatcher, policy string
 		energyMJ           float64
@@ -41,6 +45,8 @@ func TestFleetWeekGolden(t *testing.T) {
 		{"greedy-proportional", "COAT", 38.874682},
 		{"follow-the-load", "EPACT", 79.073546},
 		{"follow-the-load", "COAT", 93.818028},
+		{"carbon-greedy", "EPACT", 22.115386},
+		{"carbon-greedy", "COAT", 38.874682},
 	}
 	byKey := map[string]FleetWeekRow{}
 	for _, r := range rows {

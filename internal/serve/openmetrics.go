@@ -153,6 +153,8 @@ func (sess *Session) families() []family {
 		g("ntc_fleet_latency_weighted_viol", "Cumulative WAN-latency-weighted violation-samples; monotone.", one(snap.LatencyWeightedViol)...),
 		g("ntc_fleet_migrations", "Cumulative within-DC server moves; monotone.", one(float64(snap.Migrations))...),
 		g("ntc_fleet_cross_dc_migrations", "Cumulative VMs moved between datacenters by the rebalancer; monotone.", one(float64(snap.CrossDCMigrations))...),
+		g("ntc_carbon_operational_g", "Cumulative fleet operational carbon (facility energy priced at each DC's grid intensity) in gCO2eq; monotone.", one(snap.OperationalGCO2)...),
+		g("ntc_carbon_embodied_g", "Cumulative fleet embodied carbon (amortized manufacturing carbon of powered-on servers) in gCO2eq; monotone.", one(snap.EmbodiedGCO2)...),
 
 		g("ntc_dc_energy_mj", "Cumulative facility energy per datacenter in megajoules; monotone.",
 			perDC(func(d *DCSnapshot) float64 { return d.EnergyMJ })...),
@@ -170,6 +172,10 @@ func (sess *Session) families() []family {
 			perDC(func(d *DCSnapshot) float64 { return float64(d.Migrations) })...),
 		g("ntc_dc_cross_dc_migrations", "Cumulative VMs the rebalancer moved into each datacenter; monotone.",
 			perDC(func(d *DCSnapshot) float64 { return float64(d.CrossDCMigrations) })...),
+		g("ntc_dc_carbon_operational_g", "Cumulative operational carbon per datacenter in gCO2eq; monotone.",
+			perDC(func(d *DCSnapshot) float64 { return d.OperationalGCO2 })...),
+		g("ntc_dc_carbon_embodied_g", "Cumulative embodied carbon per datacenter in gCO2eq; monotone.",
+			perDC(func(d *DCSnapshot) float64 { return d.EmbodiedGCO2 })...),
 
 		g("ntc_whatif_requests", "What-if requests accepted on this session (forks included); monotone.", one(float64(wst.requests))...),
 		g("ntc_whatif_rejected", "What-if requests rejected by validation; monotone.", one(float64(wst.rejected))...),

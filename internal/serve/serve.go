@@ -115,6 +115,13 @@ type DCSnapshot struct {
 	LatencyWeightedViol float64
 	Migrations          int
 	CrossDCMigrations   int
+
+	// OperationalGCO2 is the DC's cumulative grid-priced carbon
+	// (facility energy × grid intensity at each slot's hour of day);
+	// EmbodiedGCO2 is the amortized manufacturing carbon of its
+	// powered-on servers. Both in gCO2eq.
+	OperationalGCO2 float64
+	EmbodiedGCO2    float64
 }
 
 // Session lifecycle states, as reported by Snapshot.State and the
@@ -180,6 +187,11 @@ type Snapshot struct {
 	LatencyWeightedViol float64
 	Migrations          int
 	CrossDCMigrations   int
+
+	// OperationalGCO2 and EmbodiedGCO2 are the fleet's cumulative
+	// carbon accumulators in gCO2eq (see DCSnapshot).
+	OperationalGCO2 float64
+	EmbodiedGCO2    float64
 
 	// DCs is the per-datacenter breakdown, fleet spec order.
 	DCs []DCSnapshot

@@ -162,6 +162,8 @@ func (sess *Session) apply(step topology.SlotStep) {
 	c.LatencyWeightedViol += step.LatencyWeightedViol
 	c.Migrations += step.Migrations
 	c.CrossDCMigrations += step.CrossDCMigrations
+	c.OperationalGCO2 += step.OperationalGCO2
+	c.EmbodiedGCO2 += step.EmbodiedGCO2
 
 	if c.Slot == 1 {
 		sess.minSlot, sess.maxSlot = step.EnergyMJ, step.EnergyMJ
@@ -193,6 +195,8 @@ func (sess *Session) apply(step topology.SlotStep) {
 		d.LatencyWeightedViol += v.LatencyWeightedViol
 		d.Migrations += v.Migrations
 		d.CrossDCMigrations += v.CrossDCMigrations
+		d.OperationalGCO2 += v.OperationalGCO2
+		d.EmbodiedGCO2 += v.EmbodiedGCO2
 	}
 }
 

@@ -35,6 +35,7 @@ type WhatIfRequest struct {
 	Transitions  []string  `json:"transitions,omitempty"`
 	Topologies   []string  `json:"topologies,omitempty"`
 	Rebalances   []string  `json:"rebalances,omitempty"`
+	PowerModels  []string  `json:"power_models,omitempty"`
 
 	Fork bool `json:"fork,omitempty"`
 }
@@ -45,7 +46,7 @@ func (r *WhatIfRequest) axes() []int {
 	return []int{
 		len(r.Policies), len(r.VMs), len(r.MaxServers), len(r.Seeds),
 		len(r.StaticPowerW), len(r.Predictors), len(r.Transitions),
-		len(r.Topologies), len(r.Rebalances),
+		len(r.Topologies), len(r.Rebalances), len(r.PowerModels),
 	}
 }
 
@@ -88,12 +89,16 @@ type ForkResponse struct {
 	LatencyWeightedViol float64   `json:"latency_weighted_viol"`
 	Migrations          int       `json:"migrations"`
 	CrossDCMigrations   int       `json:"cross_dc_migrations"`
+	OperationalGCO2     float64   `json:"operational_gco2"`
+	EmbodiedGCO2        float64   `json:"embodied_gco2"`
 
 	// Full-horizon totals from the finished clone (bit-exact with the
 	// batch row for the session's scenario — the clone contract).
-	TotalEnergyMJ   float64 `json:"total_energy_mj"`
-	TotalViolations int     `json:"total_violations"`
-	EPScore         float64 `json:"ep_score"`
+	TotalEnergyMJ        float64 `json:"total_energy_mj"`
+	TotalViolations      int     `json:"total_violations"`
+	EPScore              float64 `json:"ep_score"`
+	TotalOperationalGCO2 float64 `json:"total_operational_gco2"`
+	TotalEmbodiedGCO2    float64 `json:"total_embodied_gco2"`
 }
 
 // gridForScenario pins every axis of the base grid to one scenario's
@@ -117,6 +122,7 @@ func gridForScenario(base sweep.Grid, s sweep.Scenario) sweep.Grid {
 	g.Traces = []string{s.TraceSpec}
 	g.Topologies = []string{s.Topology}
 	g.Rebalances = []string{s.Rebalance}
+	g.PowerModels = []string{s.PowerModel}
 	return g
 }
 
@@ -242,6 +248,9 @@ func applyDelta(base sweep.Grid, req *WhatIfRequest, maxScenarios, maxVMs int) (
 	}
 	if len(req.Rebalances) > 0 {
 		g.Rebalances = req.Rebalances
+	}
+	if len(req.PowerModels) > 0 {
+		g.PowerModels = req.PowerModels
 	}
 
 	// Expand validates every axis value against the registries; the
@@ -400,6 +409,8 @@ func (s *Server) serveFork(w http.ResponseWriter, sess *Session) {
 		resp.LatencyWeightedViol += step.LatencyWeightedViol
 		resp.Migrations += step.Migrations
 		resp.CrossDCMigrations += step.CrossDCMigrations
+		resp.OperationalGCO2 += step.OperationalGCO2
+		resp.EmbodiedGCO2 += step.EmbodiedGCO2
 	}
 	if err == nil {
 		res, err = clone.Result()
@@ -412,6 +423,8 @@ func (s *Server) serveFork(w http.ResponseWriter, sess *Session) {
 	resp.TotalEnergyMJ = res.TotalEnergyMJ
 	resp.TotalViolations = res.Violations
 	resp.EPScore = res.EPScore
+	resp.TotalOperationalGCO2 = res.OperationalGCO2
+	resp.TotalEmbodiedGCO2 = res.EmbodiedGCO2
 
 	sess.wmu.Lock()
 	sess.wst.requests++

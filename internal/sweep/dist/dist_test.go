@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -115,6 +116,77 @@ func TestWarmClusterExecutesNothing(t *testing.T) {
 		if !warm.Runs[i].Cached {
 			t.Errorf("run %d not marked cached on a warm cluster", i)
 		}
+	}
+}
+
+// TestStaleSchemaRowsNeverWarmCluster pins the v3→v4 migration on the
+// coordinator's warm path: a store full of rows persisted under the
+// previous result schema version answers nothing — every unit leases
+// and executes, and the rows are written back under the current
+// version, after which the cluster is genuinely warm.
+func TestStaleSchemaRowsNeverWarmCluster(t *testing.T) {
+	dir := t.TempDir()
+	cold, _, err := RunLocal(context.Background(), testGrid(), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Failed(); err != nil {
+		t.Fatal(err)
+	}
+
+	rn, err := sweep.NewRunner(testGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Runs {
+		key, ok := rn.CacheKeyForVersion(cold.Runs[i].Scenario, "sweep-result-v3")
+		if !ok {
+			t.Fatal("scenario unexpectedly uncacheable")
+		}
+		row, err := json.Marshal(cold.Runs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(key, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store2, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, sstats, err := RunLocal(context.Background(), testGrid(), 3, Options{Cache: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if sstats.CacheHits != 0 || sstats.Leases < 8 {
+		t.Errorf("v3 store warmed the cluster: %+v, want 0 hits and all units leased", sstats)
+	}
+	if stale.Cache.Writes != 8 {
+		t.Errorf("v4 write-back wrote %d rows, want 8", stale.Cache.Writes)
+	}
+	if stale.CSV() != cold.CSV() {
+		t.Errorf("stale-store CSV differs from cold:\n%s\nvs\n%s", stale.CSV(), cold.CSV())
+	}
+
+	store3, err := cache.Open(filepath.Join(dir, "cache"), cache.ModeRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wstats, err := RunLocal(context.Background(), testGrid(), 3, Options{Cache: store3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wstats.CacheHits != 8 || wstats.Leases != 0 {
+		t.Errorf("v4 rows did not warm the cluster: %+v", wstats)
 	}
 }
 

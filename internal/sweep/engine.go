@@ -26,7 +26,12 @@ import (
 // v3: the rebalance axis added the rebalance, cross_dc_migrations and
 // latency_weighted_viol columns to every row (and the rebalance spec
 // to the scenario identity).
-const resultSchemaVersion = "sweep-result-v3"
+//
+// v4: the carbon layer added the power_model, operational_gco2 and
+// embodied_gco2 columns to every row (and the power model to the
+// scenario identity); resolved fleets carry grid-intensity and
+// embodied-carbon fields into the per-DC provenance.
+const resultSchemaVersion = "sweep-result-v4"
 
 // Options tunes one sweep execution. The zero value runs on
 // GOMAXPROCS workers with no progress reporting and no caching.
@@ -90,6 +95,14 @@ type RunResult struct {
 	// per-slot energy series (topology.SeriesEPScore).
 	EPScore float64 `json:"ep_score"`
 
+	// OperationalGCO2 prices the fleet's facility energy at each DC's
+	// grid intensity (hour-of-day resolved); EmbodiedGCO2 amortizes
+	// manufacturing carbon over powered-on server-hours. Both are
+	// derived from the energy series and never feed back into it — a
+	// zero-carbon-field scenario reports 0 grams and unchanged joules.
+	OperationalGCO2 float64 `json:"operational_gco2"`
+	EmbodiedGCO2    float64 `json:"embodied_gco2"`
+
 	// PerDC carries per-datacenter provenance for multi-DC rows
 	// (fleet spec order); empty on single-topology rows.
 	PerDC []DCResult `json:"per_dc,omitempty"`
@@ -128,6 +141,11 @@ type DCResult struct {
 	// LatencyWeightedViol is its WAN-weighted violation share.
 	CrossDCMigrations   int     `json:"cross_dc_migrations"`
 	LatencyWeightedViol float64 `json:"latency_weighted_viol"`
+
+	// OperationalGCO2 and EmbodiedGCO2 are this DC's carbon slices of
+	// the fleet totals (see RunResult).
+	OperationalGCO2 float64 `json:"operational_gco2"`
+	EmbodiedGCO2    float64 `json:"embodied_gco2"`
 }
 
 // Results is a completed sweep.
@@ -355,7 +373,8 @@ func fleetConfig(ld *loader, g Grid, s Scenario) (topology.Config, int, error) {
 		EvalDays:     s.EvalDays,
 		MaxServers:   s.MaxServers,
 		StaticPowerW: s.StaticPowerW,
-		NewPolicy: func(m *power.ServerModel) (alloc.Policy, error) {
+		PowerModel:   s.PowerModel,
+		NewPolicy: func(m power.Model) (alloc.Policy, error) {
 			return newPolicy(s.Policy, m)
 		},
 		Transitions:              transitions,
@@ -404,6 +423,8 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 	out.LatencyWeightedViol = fres.LatencyWeightedViol
 	out.DCCount = len(fres.DCs)
 	out.EPScore = fres.EPScore
+	out.OperationalGCO2 = fres.OperationalGCO2
+	out.EmbodiedGCO2 = fres.EmbodiedGCO2
 	out.Fleet = fres
 	if len(fres.DCs) == 1 {
 		out.Run = fres.DCs[0].Result
@@ -423,6 +444,8 @@ func runScenario(ld *loader, g Grid, s Scenario) RunResult {
 				EPScore:             dc.EPScore,
 				CrossDCMigrations:   dc.CrossDCMigrations,
 				LatencyWeightedViol: dc.LatencyWeightedViol,
+				OperationalGCO2:     dc.OperationalGCO2,
+				EmbodiedGCO2:        dc.EmbodiedGCO2,
 			}
 		}
 	}

@@ -17,11 +17,12 @@ func (r *Results) CSV() string {
 		"static_power_w,churn_fraction,churn_affected_vms,slots," +
 		"total_energy_mj,transition_mj,violations,mean_active,peak_active," +
 		"migrations,mean_planned_freq_ghz,topology,dc_count,ep_score,per_dc," +
-		"rebalance,cross_dc_migrations,latency_weighted_viol,error\n")
+		"rebalance,cross_dc_migrations,latency_weighted_viol," +
+		"power_model,operational_gco2,embodied_gco2,error\n")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		s := run.Scenario
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s,%d,%.6f,%s,%s,%d,%.6f,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d,%g,%g,%d,%d,%.6f,%.6f,%d,%.6f,%d,%d,%.6f,%s,%d,%.6f,%s,%s,%d,%.6f,%s,%.6f,%.6f,%s\n",
 			csvField(s.Policy), csvField(s.Predictor), csvField(s.Transitions),
 			csvField(s.TraceSpec), s.VMs, s.MaxServers, s.EvalDays, s.Seed,
 			s.StaticPowerW, s.ChurnFraction, run.ChurnAffectedVMs, run.Slots,
@@ -29,7 +30,9 @@ func (r *Results) CSV() string {
 			run.PeakActive, run.Migrations, run.MeanPlannedFreqGHz,
 			csvField(s.Topology), run.DCCount, run.EPScore,
 			csvField(perDCField(run.PerDC)), csvField(s.Rebalance),
-			run.CrossDCMigrations, run.LatencyWeightedViol, csvField(run.Err))
+			run.CrossDCMigrations, run.LatencyWeightedViol,
+			csvField(s.powerModel()), run.OperationalGCO2, run.EmbodiedGCO2,
+			csvField(run.Err))
 	}
 	return b.String()
 }

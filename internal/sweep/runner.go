@@ -103,6 +103,14 @@ func (r *Runner) CacheKey(s Scenario) (string, bool) {
 	return scenarioCacheKey(r.ld, r.grid, s)
 }
 
+// CacheKeyForVersion is CacheKey under an arbitrary result schema
+// version: the address rows written by OTHER releases live at. Cache
+// inspection tooling and the stale-schema upgrade tests use it to
+// plant or locate rows the current version must never answer from.
+func (r *Runner) CacheKeyForVersion(s Scenario, version string) (string, bool) {
+	return scenarioCacheKeyVersioned(r.ld, r.grid, s, version)
+}
+
 // LoadStats snapshots the Runner's input-sharing counters.
 func (r *Runner) LoadStats() LoadStats { return r.ld.stats() }
 

@@ -114,6 +114,12 @@ type Grid struct {
 	// affects multi-DC topologies; on "single" every spec is the
 	// identity.
 	Rebalances []string `json:"rebalances,omitempty"`
+
+	// PowerModels select how server power is priced ("ntc", "tdp");
+	// see power.ModelNames. Empty means "ntc" — each platform's native
+	// FDSOI model, the bit-exact default. The axis changes energy (and
+	// carbon) pricing only, never placement or violations.
+	PowerModels []string `json:"power_models,omitempty"`
 }
 
 // Scenario is one fully concrete grid point.
@@ -140,15 +146,29 @@ type Scenario struct {
 	// Rebalance is the cross-DC rebalancing spec ("off",
 	// "epoch:N[@dispatcher]").
 	Rebalance string `json:"rebalance"`
+
+	// PowerModel is the power-pricing model ("ntc", "tdp"; "" reads
+	// as "ntc" everywhere).
+	PowerModel string `json:"power_model,omitempty"`
 }
 
 // ID returns the scenario's canonical key, unique within a grid. It
 // names the spec of every input, but not file contents — result
 // caching combines it with the trace source's content fingerprint.
 func (s Scenario) ID() string {
-	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s topo=%s reb=%s",
+	return fmt.Sprintf("pol=%s vms=%d srv=%d hist=%d eval=%d seed=%d static=%g pred=%s trans=%s churn=%g trace=%s topo=%s reb=%s pm=%s",
 		s.Policy, s.VMs, s.MaxServers, s.HistoryDays, s.EvalDays,
-		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec, s.Topology, s.Rebalance)
+		s.Seed, s.StaticPowerW, s.Predictor, s.Transitions, s.ChurnFraction, s.TraceSpec, s.Topology, s.Rebalance, s.powerModel())
+}
+
+// powerModel is the scenario's effective power model: the empty axis
+// value reads as "ntc" so legacy scenarios and defaulted ones share
+// one identity.
+func (s Scenario) powerModel() string {
+	if s.PowerModel == "" {
+		return "ntc"
+	}
+	return s.PowerModel
 }
 
 // TransitionSpec names a transition-cost model. A nil Model resolves
@@ -202,13 +222,14 @@ func PolicyNames() []string {
 
 // newPolicy builds a fresh policy instance for one scenario. Policies
 // are stateful across Allocate calls, so instances are never shared
-// between concurrent runs.
-func newPolicy(name string, model *power.ServerModel) (alloc.Policy, error) {
+// between concurrent runs. Any power.Model works: capacity and DVFS
+// planning go through the interface.
+func newPolicy(name string, model power.Model) (alloc.Policy, error) {
 	spec := alloc.ServerSpec{
-		Cores:         model.Cores,
-		MemContainers: model.DRAM.Capacity.GB(),
-		FMax:          model.FMax,
-		FMin:          model.FMin,
+		Cores:         model.NumCores(),
+		MemContainers: model.MemGB(),
+		FMax:          model.FreqMax(),
+		FMin:          model.FreqMin(),
 	}
 	switch name {
 	case "EPACT":
@@ -322,6 +343,9 @@ func (g Grid) WithDefaults() Grid {
 	if len(g.Rebalances) == 0 {
 		g.Rebalances = []string{"off"}
 	}
+	if len(g.PowerModels) == 0 {
+		g.PowerModels = []string{"ntc"}
+	}
 	return g
 }
 
@@ -401,14 +425,24 @@ func (g Grid) Validate() error {
 		}
 		seenReb[spec] = true
 	}
+	seenPM := map[string]bool{}
+	for _, pm := range g.PowerModels {
+		if _, err := power.ResolveModel(pm, power.NTCServer()); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if seenPM[pm] {
+			return fmt.Errorf("sweep: duplicate power model %q", pm)
+		}
+		seenPM[pm] = true
+	}
 	return nil
 }
 
 // Expand applies defaults, validates, and returns the scenario list.
 // The nesting order (trace, topology, rebalance, seed, VMs, pool,
-// static power, predictor, transitions, churn, policy) keeps policies
-// adjacent — the order the figure adapters group rows in — and is
-// part of the output contract. The trace axis is outermost because
+// static power, predictor, transitions, churn, power model, policy)
+// keeps policies adjacent — the order the figure adapters group rows
+// in — and is part of the output contract. The trace axis is outermost because
 // its inputs (file ingestion) are the most expensive to share;
 // topology comes next so all of a fleet's scenarios reuse one trace
 // and one prediction set, and rebalance right after it so a fleet's
@@ -429,22 +463,25 @@ func Expand(g Grid) ([]Scenario, error) {
 								for _, pred := range g.Predictors {
 									for _, tr := range g.Transitions {
 										for _, churn := range g.ChurnFractions {
-											for _, pol := range g.Policies {
-												out = append(out, Scenario{
-													Policy:        pol,
-													VMs:           vms,
-													MaxServers:    srv,
-													HistoryDays:   g.HistoryDays,
-													EvalDays:      g.EvalDays,
-													Seed:          seed,
-													StaticPowerW:  static,
-													Predictor:     pred,
-													Transitions:   tr.Name,
-													ChurnFraction: churn,
-													TraceSpec:     spec,
-													Topology:      topo,
-													Rebalance:     reb,
-												})
+											for _, pm := range g.PowerModels {
+												for _, pol := range g.Policies {
+													out = append(out, Scenario{
+														Policy:        pol,
+														VMs:           vms,
+														MaxServers:    srv,
+														HistoryDays:   g.HistoryDays,
+														EvalDays:      g.EvalDays,
+														Seed:          seed,
+														StaticPowerW:  static,
+														Predictor:     pred,
+														Transitions:   tr.Name,
+														ChurnFraction: churn,
+														TraceSpec:     spec,
+														Topology:      topo,
+														Rebalance:     reb,
+														PowerModel:    pm,
+													})
+												}
 											}
 										}
 									}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dcsim"
+	"repro/internal/power"
 )
 
 // Clone returns an independent stepper carrying this one's state: the
@@ -27,6 +28,7 @@ func (st *Stepper) Clone() (*Stepper, error) {
 		totalSlots: st.totalSlots,
 		next:       st.next,
 		res:        st.res, // only non-nil once done; final and read-only
+		carbon:     st.carbon,
 	}
 	if st.static != nil {
 		ss := &staticState{asg: st.static.asg, sims: make([]*dcsim.Stepper, len(st.static.sims))}
@@ -35,7 +37,11 @@ func (st *Stepper) Clone() (*Stepper, error) {
 				continue
 			}
 			dc := st.fleet.DCs[i]
-			model, _, err := dc.serverPlatform()
+			base, _, err := dc.serverPlatform()
+			if err != nil {
+				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+			}
+			model, err := power.ResolveModel(st.cfg.PowerModel, base)
 			if err != nil {
 				return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 			}
@@ -61,6 +67,7 @@ func (st *Stepper) Clone() (*Stepper, error) {
 
 		res:           &res,
 		dcSlotMJ:      make([][]float64, len(rb.dcSlotMJ)),
+		dcActive:      make([][]int, len(rb.dcActive)),
 		activePerSlot: append([]int(nil), rb.activePerSlot...),
 		dcActiveSum:   append([]int(nil), rb.dcActiveSum...),
 		models:        rb.models, // per-DC constants
@@ -84,6 +91,9 @@ func (st *Stepper) Clone() (*Stepper, error) {
 	}
 	for i := range rb.dcSlotMJ {
 		nrb.dcSlotMJ[i] = append([]float64(nil), rb.dcSlotMJ[i]...)
+	}
+	for i := range rb.dcActive {
+		nrb.dcActive[i] = append([]int(nil), rb.dcActive[i]...)
 	}
 	if rb.open {
 		// Mid-epoch: clone the live per-DC steppers with fresh policies.

@@ -23,7 +23,20 @@ type Assignment [][]int
 // first historySamples of each VM's series (the past a real operator
 // has seen). <= 0, or more samples than the trace holds, means the
 // whole trace. Load-blind dispatchers ignore it.
+//
+// Dispatch is DispatchAt at hour 0 — carbon-aware dispatchers price
+// grid intensity at midnight; everything else ignores the hour.
 func Dispatch(f Fleet, tr *trace.Trace, historySamples int) (Assignment, error) {
+	return DispatchAt(f, tr, historySamples, 0)
+}
+
+// DispatchAt dispatches as of a given hour of day: the carbon-greedy
+// dispatcher ranks DCs by their grid intensity AT that hour, which is
+// what lets the epoch rebalancer follow the sun — each re-dispatch
+// re-ranks against the boundary slot's hour. The load-blind and
+// load-aware dispatchers ignore the hour entirely, so Dispatch and
+// DispatchAt agree for them.
+func DispatchAt(f Fleet, tr *trace.Trace, historySamples, hour int) (Assignment, error) {
 	f = f.normalized()
 	switch f.Dispatcher {
 	case "uniform":
@@ -32,6 +45,8 @@ func Dispatch(f Fleet, tr *trace.Trace, historySamples int) (Assignment, error) 
 		return dispatchGreedyProportional(f, tr)
 	case "follow-the-load":
 		return dispatchFollowTheLoad(f, tr, historySamples)
+	case "carbon-greedy":
+		return dispatchCarbonGreedy(f, tr, hour)
 	default:
 		return nil, fmt.Errorf("topology: unknown dispatcher %q", f.Dispatcher)
 	}
@@ -92,12 +107,7 @@ func ProportionalityScore(m *power.ServerModel) float64 {
 // last-ranked DC absorbs any remainder — an over-full fleet surfaces
 // as pool-cap violations in the simulation, never as dropped VMs.
 func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
-	type ranked struct {
-		idx   int
-		score float64
-		cap   int // VM capacity; 0 = unbounded
-	}
-	order := make([]ranked, 0, len(f.DCs))
+	order := make([]rankedDC, 0, len(f.DCs))
 	for i, dc := range f.DCs {
 		if dc.Share <= 0 {
 			// Drained: never a fill target, whatever its ranking.
@@ -110,20 +120,45 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 		if err != nil {
 			return nil, err
 		}
-		slots := m.Cores
-		if gb := int(m.DRAM.Capacity.GB()); gb < slots {
-			slots = gb
-		}
-		cap := 0
-		if dc.Servers > 0 {
-			cap = dc.Servers * slots
-		}
-		order = append(order, ranked{idx: i, score: ProportionalityScore(m), cap: cap})
+		// Rank greatest proportionality first: negate so fillRanked's
+		// ascending order fills the most proportional DC first.
+		order = append(order, rankedDC{idx: i, score: -ProportionalityScore(m), cap: dcVMCapacity(dc, m)})
 	}
+	return fillRanked(f, tr, order)
+}
+
+// rankedDC is one fill target of a greedy dispatcher: a DC index, its
+// ranking score (ascending — lowest score fills first) and its VM
+// capacity (0 = unbounded).
+type rankedDC struct {
+	idx   int
+	score float64
+	cap   int
+}
+
+// dcVMCapacity is the DC's VM capacity: servers × per-server VM slots
+// (bounded by cores and 1 GB memory containers); 0 = unbounded.
+func dcVMCapacity(dc DCSpec, m *power.ServerModel) int {
+	slots := m.Cores
+	if gb := int(m.DRAM.Capacity.GB()); gb < slots {
+		slots = gb
+	}
+	if dc.Servers > 0 {
+		return dc.Servers * slots
+	}
+	return 0
+}
+
+// fillRanked fills DCs in ascending score order (spec order on ties):
+// VMs in ID order fill each DC to its capacity before overflowing to
+// the next, and the last-ranked DC absorbs any remainder — an
+// over-full fleet surfaces as pool-cap violations in the simulation,
+// never as dropped VMs.
+func fillRanked(f Fleet, tr *trace.Trace, order []rankedDC) (Assignment, error) {
 	if len(order) == 0 {
 		return nil, errNoDispatchableDC
 	}
-	sort.SliceStable(order, func(a, b int) bool { return order[a].score > order[b].score })
+	sort.SliceStable(order, func(a, b int) bool { return order[a].score < order[b].score })
 
 	out := make(Assignment, len(f.DCs))
 	pos := 0
@@ -135,6 +170,31 @@ func dispatchGreedyProportional(f Fleet, tr *trace.Trace) (Assignment, error) {
 		out[order[pos].idx] = append(out[order[pos].idx], v)
 	}
 	return out, nil
+}
+
+// dispatchCarbonGreedy fills the cleanest DC first: DCs are ranked by
+// effective carbon per unit of IT energy — PUE × grid intensity at
+// the dispatch hour, gCO2eq per IT-kWh — ascending (spec order on
+// ties), and VMs fill each DC to its capacity before overflowing, as
+// in greedy-proportional. Under an epoch rebalance (`epoch:N@
+// carbon-greedy`) each boundary re-ranks at its own hour of day, so
+// load follows whichever grid is clean right now — follow-the-sun.
+// Dispatch optimizes grams the way greedy-proportional optimizes
+// joules; it never reads the workload, so it stays a pure function of
+// the fleet spec and the hour.
+func dispatchCarbonGreedy(f Fleet, tr *trace.Trace, hour int) (Assignment, error) {
+	order := make([]rankedDC, 0, len(f.DCs))
+	for i, dc := range f.DCs {
+		if dc.Share <= 0 {
+			continue
+		}
+		m, _, err := dc.serverPlatform()
+		if err != nil {
+			return nil, err
+		}
+		order = append(order, rankedDC{idx: i, score: dc.PUE * dc.GridIntensity.At(hour), cap: dcVMCapacity(dc, m)})
+	}
+	return fillRanked(f, tr, order)
 }
 
 // dispatchFollowTheLoad balances observed load latency-aware: each

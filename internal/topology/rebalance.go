@@ -108,8 +108,12 @@ func ParseRebalanceSpec(spec string) (RebalanceSpec, error) {
 // which keeps the batch result and the live slot-by-slot view one
 // code path instead of two accounting implementations to reconcile.
 
-// serverModels pairs one DC's power model with its platform.
+// serverModels pairs one DC's (axis-resolved) power model with its
+// performance platform. base is the platform's native model the
+// allocation policy plans against — the axis-resolved model reprices
+// the replay, never the placement (see newStaticState).
 type serverModels struct {
-	model *power.ServerModel
+	base  *power.ServerModel
+	model power.Model
 	plat  *platform.Platform
 }

@@ -34,10 +34,17 @@ type Config struct {
 	// by DCs without their own.
 	StaticPowerW float64
 
+	// PowerModel selects how server power is priced in every DC (see
+	// power.ResolveModel): "" or "ntc" keeps each platform's native
+	// FDSOI model — the bit-exact default — and "tdp" wraps it in the
+	// TDP-interpolated model. Dispatch and allocation are unaffected:
+	// the axis changes pricing, never placement.
+	PowerModel string
+
 	// NewPolicy builds a fresh allocation-policy instance for one DC.
 	// Policies are stateful across slots, so instances are never
 	// shared between datacenters.
-	NewPolicy func(m *power.ServerModel) (alloc.Policy, error)
+	NewPolicy func(m power.Model) (alloc.Policy, error)
 
 	// Transitions prices power-state changes and migrations, applied
 	// identically in every DC. The rebalancer also prices each
@@ -104,6 +111,15 @@ type DCRun struct {
 	// facility-energy series (see SeriesEPScore).
 	EPScore float64 `json:"ep_score"`
 
+	// OperationalGCO2 is the DC's operational carbon: each slot's
+	// facility energy (kWh) × the grid intensity at that hour of day,
+	// in gCO2eq. EmbodiedGCO2 amortizes manufacturing carbon over the
+	// DC's powered-on server-hours (see dcCarbonOf). Both are derived
+	// from the energy and active-server series and never feed back
+	// into allocation.
+	OperationalGCO2 float64 `json:"operational_gco2"`
+	EmbodiedGCO2    float64 `json:"embodied_gco2"`
+
 	// Result is the full simulation output (nil for a DC that hosted
 	// no VMs). Not serialised.
 	Result *dcsim.Result `json:"-"`
@@ -148,6 +164,12 @@ type FleetResult struct {
 	// MeanPlannedFreqGHz is the VM-weighted mean of the per-DC
 	// allocator cap frequencies.
 	MeanPlannedFreqGHz float64 `json:"mean_planned_freq_ghz"`
+
+	// OperationalGCO2 and EmbodiedGCO2 sum the per-DC carbon columns:
+	// grid-intensity-priced facility energy and amortized embodied
+	// manufacturing carbon (see DCRun).
+	OperationalGCO2 float64 `json:"operational_gco2"`
+	EmbodiedGCO2    float64 `json:"embodied_gco2"`
 
 	// SlotEnergyMJ is the fleet's per-slot facility-energy series.
 	SlotEnergyMJ []float64 `json:"-"`

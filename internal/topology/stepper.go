@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dcsim"
+	"repro/internal/power"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -45,6 +46,14 @@ type DCSlotStep struct {
 	// CrossDCMigrations counts VMs the rebalancer moved INTO this DC
 	// at this boundary (0 off-boundary and under static dispatch).
 	CrossDCMigrations int
+
+	// OperationalGCO2 prices this slot's facility energy (boundary
+	// charges included) at the DC's grid intensity for the slot's hour
+	// of day; EmbodiedGCO2 is the slot's amortized manufacturing
+	// carbon for the powered-on servers. Grams, derived from EnergyMJ
+	// and ActiveServers — never an independent accumulator.
+	OperationalGCO2 float64
+	EmbodiedGCO2    float64
 }
 
 // SlotStep is one fleet slot of a live run: the fleet-level sums plus
@@ -63,6 +72,10 @@ type SlotStep struct {
 	LatencyWeightedViol float64
 	Migrations          int
 	CrossDCMigrations   int
+
+	// OperationalGCO2 and EmbodiedGCO2 sum the per-DC carbon slots.
+	OperationalGCO2 float64
+	EmbodiedGCO2    float64
 
 	// DCs is the per-datacenter breakdown, in fleet spec order.
 	DCs []DCSlotStep
@@ -88,6 +101,10 @@ type Stepper struct {
 	next       int
 	res        *FleetResult
 
+	// carbon is the per-DC carbon pricing (fleet spec order),
+	// precomputed from the resolved specs. Read-only after NewStepper.
+	carbon []dcCarbon
+
 	// Exactly one of static/reb is non-nil.
 	static *staticState
 	reb    *rebState
@@ -107,6 +124,12 @@ func NewStepper(cfg Config) (*Stepper, error) {
 	if cfg.NewPolicy == nil {
 		return nil, fmt.Errorf("topology: nil policy factory")
 	}
+	// Reject an unknown power model up front, whether or not any DC
+	// ends up simulating — a misspelled axis value must fail loudly,
+	// not vanish into an empty-DC path.
+	if _, err := power.ResolveModel(cfg.PowerModel, power.NTCServer()); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
 	fleet := cfg.Fleet.Resolve(cfg.MaxServers)
 	if err := fleet.Validate(); err != nil {
 		return nil, err
@@ -122,6 +145,18 @@ func NewStepper(cfg Config) (*Stepper, error) {
 		}
 	}
 	st := &Stepper{cfg: cfg, fleet: fleet}
+	// Precompute each DC's carbon pricing against its platform's
+	// capacity (cores/GB drive the embodied amortization; the
+	// power-model axis delegates capacity, so either model prices the
+	// same grams).
+	st.carbon = make([]dcCarbon, len(fleet.DCs))
+	for i, dc := range fleet.DCs {
+		m, _, err := dc.serverPlatform()
+		if err != nil {
+			return nil, fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		st.carbon[i] = dcCarbonOf(dc, m)
+	}
 	if cfg.Rebalance.Enabled() && len(fleet.DCs) > 1 {
 		if err := st.initRebalanced(); err != nil {
 			return nil, err
@@ -199,11 +234,19 @@ func (st *Stepper) initStatic() error {
 		}
 		// The resolved spec already carries the effective static power
 		// (per-DC override or the scenario default).
-		model, plat, err := dc.serverPlatform()
+		base, plat, err := dc.serverPlatform()
 		if err != nil {
 			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 		}
-		pol, err := cfg.NewPolicy(model)
+		model, err := power.ResolveModel(cfg.PowerModel, base)
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		// The policy plans against the platform's NATIVE model: the
+		// power-model axis reprices what the replay observes (Server),
+		// never what the allocator decides, so tdp rows keep the ntc
+		// rows' placement, frequencies and violations bit-for-bit.
+		pol, err := cfg.NewPolicy(base)
 		if err != nil {
 			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 		}
@@ -250,11 +293,16 @@ func (st *Stepper) stepStatic() (SlotStep, error) {
 		d.Violations = slot.Violations
 		d.LatencyWeightedViol = float64(slot.Violations) * latencyWeight(dc.LatencyMs)
 		d.Migrations = slot.Migrations
+		ci := st.carbon[i]
+		d.OperationalGCO2 = d.EnergyMJ / mjPerKWh * ci.intensity.At(st.next%24)
+		d.EmbodiedGCO2 = float64(d.ActiveServers) * ci.gPerServerHour
 		out.EnergyMJ += d.EnergyMJ
 		out.ActiveServers += d.ActiveServers
 		out.Violations += d.Violations
 		out.LatencyWeightedViol += d.LatencyWeightedViol
 		out.Migrations += d.Migrations
+		out.OperationalGCO2 += d.OperationalGCO2
+		out.EmbodiedGCO2 += d.EmbodiedGCO2
 	}
 	st.next++
 	return out, nil
@@ -303,14 +351,22 @@ func (st *Stepper) staticResult() *FleetResult {
 		if sim == nil {
 			continue
 		}
+		ci := st.carbon[i]
 		dcSlotMJ := make([]float64, len(sim.Slots))
+		var op, emb float64
 		for t, s := range sim.Slots {
 			mj := s.Energy.MJ() * res.DCs[i].Spec.PUE
 			dcSlotMJ[t] = mj
 			res.SlotEnergyMJ[t] += mj
 			activePerSlot[t] += s.ActiveServers
+			op += mj / mjPerKWh * ci.intensity.At(t%24)
+			emb += float64(s.ActiveServers) * ci.gPerServerHour
 		}
 		res.DCs[i].EPScore = SeriesEPScore(dcSlotMJ)
+		res.DCs[i].OperationalGCO2 = op
+		res.DCs[i].EmbodiedGCO2 = emb
+		res.OperationalGCO2 += op
+		res.EmbodiedGCO2 += emb
 	}
 	activeSum := 0
 	for _, a := range activePerSlot {
@@ -378,6 +434,7 @@ type rebState struct {
 
 	res           *FleetResult
 	dcSlotMJ      [][]float64
+	dcActive      [][]int // per-DC per-slot powered-on servers (embodied carbon)
 	activePerSlot []int
 	dcActiveSum   []int
 	models        []*serverModels
@@ -426,6 +483,7 @@ func (st *Stepper) initRebalanced() error {
 	rb.res = &FleetResult{Fleet: fleet, DCs: make([]DCRun, n), Slots: st.totalSlots}
 	rb.res.SlotEnergyMJ = make([]float64, st.totalSlots)
 	rb.dcSlotMJ = make([][]float64, n)
+	rb.dcActive = make([][]int, n)
 	rb.activePerSlot = make([]int, st.totalSlots)
 	rb.dcActiveSum = make([]int, n)
 	// Models and platforms are per-DC constants; policies are rebuilt
@@ -434,11 +492,16 @@ func (st *Stepper) initRebalanced() error {
 	for i, dc := range fleet.DCs {
 		rb.res.DCs[i].Spec = dc
 		rb.dcSlotMJ[i] = make([]float64, st.totalSlots)
-		m, p, err := dc.serverPlatform()
+		rb.dcActive[i] = make([]int, st.totalSlots)
+		base, p, err := dc.serverPlatform()
 		if err != nil {
 			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 		}
-		rb.models[i] = &serverModels{model: m, plat: p}
+		m, err := power.ResolveModel(cfg.PowerModel, base)
+		if err != nil {
+			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
+		}
+		rb.models[i] = &serverModels{base: base, model: m, plat: p}
 	}
 	rb.prevActive = make([]int, n)
 	rb.sims = make([]*dcsim.Stepper, n)
@@ -462,12 +525,14 @@ func (rb *rebState) openEpoch(st *Stepper, e0 int) error {
 		n = st.totalSlots - e0
 	}
 	// Observe history plus the evaluation samples already replayed.
+	// The dispatch hour is the boundary slot's hour of day, which is
+	// what makes epoch:N@carbon-greedy follow the sun.
 	observed := rb.histSamples + e0*trace.SamplesPerSlot
 	df := rb.rebFleet
 	if e0 == 0 {
 		df = fleet // initial placement: the fleet's own dispatcher
 	}
-	asg, err := Dispatch(df, cfg.Trace, observed)
+	asg, err := DispatchAt(df, cfg.Trace, observed, e0%24)
 	if err != nil {
 		return err
 	}
@@ -538,7 +603,9 @@ func (rb *rebState) openEpoch(st *Stepper, e0 int) error {
 			}
 			continue
 		}
-		pol, err := cfg.NewPolicy(rb.models[i].model)
+		// Plan against the native model; the axis-resolved model only
+		// prices the replay (see the static path).
+		pol, err := cfg.NewPolicy(rb.models[i].base)
 		if err != nil {
 			return fmt.Errorf("topology: DC %q: %w", dc.Name, err)
 		}
@@ -610,6 +677,7 @@ func (rb *rebState) closeEpoch(st *Stepper) {
 			mj := s.Energy.MJ() * dc.PUE
 			rb.dcSlotMJ[i][s.Slot] += mj
 			res.SlotEnergyMJ[s.Slot] += mj
+			rb.dcActive[i][s.Slot] = s.ActiveServers
 			rb.activePerSlot[s.Slot] += s.ActiveServers
 			rb.dcActiveSum[i] += s.ActiveServers
 			if s.ActiveServers > run.PeakActive {
@@ -666,11 +734,16 @@ func (st *Stepper) stepRebalanced() (SlotStep, error) {
 			out.EnergyMJ += rb.drainFac[i]
 		}
 		d.LatencyWeightedViol = float64(d.Violations) * latencyWeight(dc.LatencyMs)
+		ci := st.carbon[i]
+		d.OperationalGCO2 = d.EnergyMJ / mjPerKWh * ci.intensity.At(s%24)
+		d.EmbodiedGCO2 = float64(d.ActiveServers) * ci.gPerServerHour
 		out.ActiveServers += d.ActiveServers
 		out.Violations += d.Violations
 		out.LatencyWeightedViol += d.LatencyWeightedViol
 		out.Migrations += d.Migrations
 		out.CrossDCMigrations += d.CrossDCMigrations
+		out.OperationalGCO2 += d.OperationalGCO2
+		out.EmbodiedGCO2 += d.EmbodiedGCO2
 	}
 	st.next++
 	return out, nil
@@ -699,6 +772,19 @@ func (rb *rebState) finish(st *Stepper) *FleetResult {
 		if res.DCs[i].ITEnergyMJ > 0 {
 			res.DCs[i].EPScore = SeriesEPScore(rb.dcSlotMJ[i])
 		}
+		// Carbon derives from the stitched facility-energy and
+		// active-server series, slot order — boundary and drain charges
+		// are already folded into dcSlotMJ at their slots.
+		ci := st.carbon[i]
+		var op, emb float64
+		for t, mj := range rb.dcSlotMJ[i] {
+			op += mj / mjPerKWh * ci.intensity.At(t%24)
+			emb += float64(rb.dcActive[i][t]) * ci.gPerServerHour
+		}
+		res.DCs[i].OperationalGCO2 = op
+		res.DCs[i].EmbodiedGCO2 = emb
+		res.OperationalGCO2 += op
+		res.EmbodiedGCO2 += emb
 	}
 	res.EPScore = SeriesEPScore(res.SlotEnergyMJ)
 	if rb.vmSlotTotal > 0 {

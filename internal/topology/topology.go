@@ -106,19 +106,42 @@ type DCSpec struct {
 	// and mean it — a deliberately zero-static-power DC — instead of
 	// being clobbered by the scenario default.
 	StaticPowerSet bool `json:"-"`
+
+	// GridIntensity is the DC's grid carbon intensity in gCO2eq/kWh —
+	// a scalar mix or a 24-hour diurnal profile. Empty defaults to
+	// DefaultGridIntensity unless GridIntensitySet records a
+	// deliberate zero-carbon grid.
+	GridIntensity IntensityProfile `json:"grid_intensity,omitempty"`
+
+	// GridIntensitySet reports whether grid_intensity was explicitly
+	// present in the DC's JSON (or set by a caller building specs in
+	// code) — the same presence tracking StaticPowerSet provides, so
+	// an explicit `"grid_intensity": 0` (a zero-carbon grid) is not
+	// clobbered by the nonzero default.
+	GridIntensitySet bool `json:"-"`
+
+	// EmbodiedKgPerVCPU and EmbodiedKgPerGB are the server's embodied
+	// manufacturing carbon, kgCO2eq per vCPU and per GB of DRAM,
+	// amortized over EmbodiedAmortYears and charged per powered-on
+	// server-hour. 0 (the default) disables embodied accounting.
+	EmbodiedKgPerVCPU float64 `json:"embodied_kg_per_vcpu,omitempty"`
+	EmbodiedKgPerGB   float64 `json:"embodied_kg_per_gb,omitempty"`
 }
 
 // dcSpecJSON mirrors DCSpec with a pointer static-power field, so
 // decoding can tell an explicit `"static_power_w": 0` from an absent
 // one (see StaticPowerSet).
 type dcSpecJSON struct {
-	Name         string   `json:"name"`
-	Servers      int      `json:"servers,omitempty"`
-	PUE          float64  `json:"pue,omitempty"`
-	Share        *float64 `json:"share,omitempty"`
-	LatencyMs    *float64 `json:"latency_ms,omitempty"`
-	Server       string   `json:"server,omitempty"`
-	StaticPowerW *float64 `json:"static_power_w,omitempty"`
+	Name              string            `json:"name"`
+	Servers           int               `json:"servers,omitempty"`
+	PUE               float64           `json:"pue,omitempty"`
+	Share             *float64          `json:"share,omitempty"`
+	LatencyMs         *float64          `json:"latency_ms,omitempty"`
+	Server            string            `json:"server,omitempty"`
+	StaticPowerW      *float64          `json:"static_power_w,omitempty"`
+	GridIntensity     *IntensityProfile `json:"grid_intensity,omitempty"`
+	EmbodiedKgPerVCPU float64           `json:"embodied_kg_per_vcpu,omitempty"`
+	EmbodiedKgPerGB   float64           `json:"embodied_kg_per_gb,omitempty"`
 }
 
 // UnmarshalJSON decodes a DC spec, tracking static-power and latency
@@ -134,7 +157,8 @@ func (d *DCSpec) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*d = DCSpec{Name: raw.Name, Servers: raw.Servers, PUE: raw.PUE,
-		Server: raw.Server}
+		Server: raw.Server, EmbodiedKgPerVCPU: raw.EmbodiedKgPerVCPU,
+		EmbodiedKgPerGB: raw.EmbodiedKgPerGB}
 	if raw.Share != nil {
 		d.Share = *raw.Share
 		d.ShareSet = true
@@ -146,6 +170,10 @@ func (d *DCSpec) UnmarshalJSON(data []byte) error {
 	if raw.StaticPowerW != nil {
 		d.StaticPowerW = *raw.StaticPowerW
 		d.StaticPowerSet = true
+	}
+	if raw.GridIntensity != nil {
+		d.GridIntensity = *raw.GridIntensity
+		d.GridIntensitySet = true
 	}
 	return nil
 }
@@ -166,11 +194,11 @@ type Fleet struct {
 
 // DispatcherNames lists the cross-DC dispatch policies.
 func DispatcherNames() []string {
-	return []string{"uniform", "greedy-proportional", "follow-the-load"}
+	return []string{"uniform", "greedy-proportional", "follow-the-load", "carbon-greedy"}
 }
 
 // BuiltinFleets lists the built-in fleet names.
-func BuiltinFleets() []string { return []string{"single", "triad"} }
+func BuiltinFleets() []string { return []string{"single", "triad", "triad-carbon"} }
 
 // builtinFleet materialises a built-in fleet. Builtins are relative
 // (Servers 0): their pools are shares of the scenario's MaxServers.
@@ -193,9 +221,42 @@ func builtinFleet(name string) (Fleet, bool) {
 			{Name: "metro", Share: 0.3, PUE: 1.25, LatencyMs: 15, StaticPowerW: 25},
 			{Name: "edge", Share: 0.2, PUE: 1.5, LatencyMs: 5, Server: "conventional"},
 		}}, true
+	case "triad-carbon":
+		// The triad's carbon study variant: three NTC sites whose grids
+		// differ 4-8x in carbon intensity and move in anti-phase across
+		// the day — a solar-heavy grid (clean at midday, dirty at
+		// night), a wind-heavy grid (the opposite), and a coal-fired
+		// baseload grid that never moves. Carbon-aware dispatch should
+		// follow the sun across the first two; static uniform dispatch
+		// pays the share-weighted average.
+		return Fleet{Name: "triad-carbon", DCs: []DCSpec{
+			{Name: "solar", Share: 0.4, PUE: 1.15, LatencyMs: 30,
+				GridIntensity: dayNightProfile(60, 650), GridIntensitySet: true,
+				EmbodiedKgPerVCPU: 25, EmbodiedKgPerGB: 1.5},
+			{Name: "wind", Share: 0.35, PUE: 1.2, LatencyMs: 20,
+				GridIntensity: dayNightProfile(500, 90), GridIntensitySet: true,
+				EmbodiedKgPerVCPU: 25, EmbodiedKgPerGB: 1.5},
+			{Name: "coal", Share: 0.25, PUE: 1.1, LatencyMs: 10,
+				GridIntensity: IntensityProfile{700}, GridIntensitySet: true,
+				EmbodiedKgPerVCPU: 25, EmbodiedKgPerGB: 1.5},
+		}}, true
 	default:
 		return Fleet{}, false
 	}
+}
+
+// dayNightProfile builds a 24-hour intensity profile: `day` gCO2eq/kWh
+// during hours [8, 18), `night` otherwise.
+func dayNightProfile(day, night float64) IntensityProfile {
+	p := make(IntensityProfile, 24)
+	for h := range p {
+		if h >= 8 && h < 18 {
+			p[h] = day
+		} else {
+			p[h] = night
+		}
+	}
+	return p
 }
 
 // ServerPlatforms lists the per-DC server platform names.
@@ -265,6 +326,12 @@ func (f Fleet) Validate() error {
 		if dc.Share < 0 || dc.LatencyMs < 0 || dc.StaticPowerW < 0 {
 			return fmt.Errorf("topology: fleet %q: DC %q: negative share/latency/static power", f.Name, dc.Name)
 		}
+		if err := dc.GridIntensity.validate(); err != nil {
+			return fmt.Errorf("topology: fleet %q: DC %q: %w", f.Name, dc.Name, err)
+		}
+		if dc.EmbodiedKgPerVCPU < 0 || dc.EmbodiedKgPerGB < 0 {
+			return fmt.Errorf("topology: fleet %q: DC %q: negative embodied carbon", f.Name, dc.Name)
+		}
 		if _, _, err := ServerPlatform(dc.Server, 0); err != nil {
 			return fmt.Errorf("topology: fleet %q: DC %q: %w", f.Name, dc.Name, err)
 		}
@@ -313,6 +380,9 @@ func (f Fleet) normalized() Fleet {
 		}
 		if dcs[i].LatencyMs == 0 && !dcs[i].LatencyMsSet {
 			dcs[i].LatencyMs = 10
+		}
+		if len(dcs[i].GridIntensity) == 0 && !dcs[i].GridIntensitySet {
+			dcs[i].GridIntensity = IntensityProfile{DefaultGridIntensity}
 		}
 	}
 	f.DCs = dcs
@@ -520,13 +590,31 @@ func (s Spec) Fingerprint() (string, error) {
 }
 
 // ParseFleetJSON decodes a fleet definition, rejecting unknown fields
-// so typos in hand-written fleet files surface early.
+// so typos in hand-written fleet files surface early. Decode errors —
+// syntax errors, unknown fields, malformed intensity profiles — carry
+// the line number of the offending input so a bad entry in a long
+// hand-written fleet file is findable.
 func ParseFleetJSON(data []byte) (Fleet, error) {
 	var f Fleet
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return Fleet{}, fmt.Errorf("parsing fleet: %w", err)
+		off := dec.InputOffset()
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			off = e.Offset
+		case *json.UnmarshalTypeError:
+			off = e.Offset
+		}
+		return Fleet{}, fmt.Errorf("parsing fleet (line %d): %w", lineOf(data, off), err)
 	}
 	return f, nil
+}
+
+// lineOf maps a byte offset into data to its 1-based line number.
+func lineOf(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte("\n"))
 }

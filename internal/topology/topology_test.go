@@ -404,7 +404,7 @@ func TestFollowTheLoadPrefersLowLatency(t *testing.T) {
 	}
 }
 
-func newTestPolicy(m *power.ServerModel) (alloc.Policy, error) {
+func newTestPolicy(m power.Model) (alloc.Policy, error) {
 	return &alloc.EPACT{Model: m}, nil
 }
 

@@ -67,6 +67,23 @@ type (
 	// DataCenterPool is a homogeneous pool for worst-case sweeps.
 	DataCenterPool = power.DataCenter
 
+	// PowerModel is the pluggable server power abstraction behind the
+	// sweep's power-model axis: the native FDSOI/NTC ServerPowerModel
+	// ("ntc") and the TDP-interpolated estimator ("tdp") both satisfy
+	// it. The axis changes energy and carbon pricing only, never
+	// placement.
+	PowerModel = power.Model
+
+	// TDPServerPowerModel prices load by linear interpolation on a
+	// published TDP curve (12/32/75/102% of TDP at 0/10/50/100% load)
+	// plus a flat per-GB RAM adder, while delegating every
+	// allocation-facing decision to its base model.
+	TDPServerPowerModel = power.TDPModel
+
+	// GridIntensityProfile is a per-DC carbon intensity (gCO2eq/kWh):
+	// a scalar or a 24-value hourly profile (follow-the-sun pricing).
+	GridIntensityProfile = topology.IntensityProfile
+
 	// Tech is a process-technology model (FD-SOI or bulk).
 	Tech = fdsoi.Tech
 
@@ -225,6 +242,15 @@ func NTCServerPower() *ServerPowerModel { return power.NTCServer() }
 // ConventionalServerPower returns the non-NTC comparison server
 // (Intel E5-2620 class): consolidation at F_max is optimal for it.
 func ConventionalServerPower() *ServerPowerModel { return power.IntelE5_2620() }
+
+// PowerModelNames lists the registered power-model axis values.
+func PowerModelNames() []string { return power.ModelNames() }
+
+// ResolvePowerModel resolves a power-model axis value ("", "ntc",
+// "tdp") against a base server model; unknown names are loud errors.
+func ResolvePowerModel(name string, base *ServerPowerModel) (PowerModel, error) {
+	return power.ResolveModel(name, base)
+}
 
 // NTCPlatform returns the NTC server's performance model, calibrated
 // to the paper's Table I and Fig. 2.

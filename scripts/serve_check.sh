@@ -6,8 +6,10 @@
 #
 #   (a) two scrapes at the same slots are byte-identical over the whole
 #       multi-session page (deterministic rendering, no scrape
-#       counters), and every session shards the page under its own
-#       session label;
+#       counters), every session shards the page under its own
+#       session label, and the carbon gauges (ntc_carbon_*,
+#       ntc_dc_carbon_* sharded per DC) are on the page, live, and —
+#       being part of the compared bytes — scrape-stable;
 #   (b) per-session slot counters are monotone and independent, and the
 #       stable gauges (ntc_slots, ntc_info) never change;
 #   (c) a live-ingestion session is gated: stepping before the slot's
@@ -94,6 +96,24 @@ cmp "$tmp/m1.txt" "$tmp/m2.txt"
 }
 grep -q '^ntc_info{session="hot",' "$tmp/m1.txt"
 
+# Carbon gauges ride on the same byte-compared page: the fleet totals
+# exist per session, the per-DC shards carry every triad DC, and the
+# operational total is live (the triad prices at the default grid
+# intensity), not a dead zero.
+grep -q '^ntc_carbon_operational_g{session="default"} ' "$tmp/m1.txt"
+grep -q '^ntc_carbon_embodied_g{session="default"} ' "$tmp/m1.txt"
+grep -q '^ntc_carbon_operational_g{session="hot"} ' "$tmp/m1.txt"
+for dc in core metro edge; do
+    grep -q '^ntc_dc_carbon_operational_g{session="default",dc="'"$dc"'"} ' "$tmp/m1.txt" || {
+        echo "serve gate FAILED: no per-DC operational-carbon gauge for $dc" >&2
+        exit 1
+    }
+done
+grep '^ntc_carbon_operational_g{session="default"} ' "$tmp/m1.txt" | grep -qv ' 0$' || {
+    echo "serve gate FAILED: operational carbon is zero at slot 8" >&2
+    exit 1
+}
+
 # (b) Monotone, independent ticks; stable identity gauges.
 step default 5
 scrape "$tmp/m3.txt"
@@ -157,4 +177,4 @@ grep -q '^ntc_whatif_cache_hits{session="default"} 2$' "$tmp/m4.txt"
 grep -q '^ntc_whatif_forks{session="default"} 1$' "$tmp/m4.txt"
 grep -q '^ntc_cache_writes{session="default"} 2$' "$tmp/m4.txt"
 
-echo "serve gate ok: byte-identical 3-session scrapes, default 13/24 + hot 5/24, gated ingestion on live, warm what-if + fork executed 0"
+echo "serve gate ok: byte-identical 3-session scrapes with live per-DC carbon gauges, default 13/24 + hot 5/24, gated ingestion on live, warm what-if + fork executed 0"
